@@ -1,0 +1,50 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6:
+//!
+//! * transitive reduction of the quotient edges in `compressR` (on vs off);
+//! * rank-stratified seeding of the bisimulation refinement (on vs off);
+//! * chunk width of the reachability-signature sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpgc_generators::datasets::{dataset, pattern_dataset};
+use qpgc_pattern::bisim::{bisimulation_partition, reference_bisimulation};
+use qpgc_reach::compress::{compress_r, compress_r_with_chunk, compress_r_without_reduction};
+
+fn ablation_transitive_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_transitive_reduction");
+    group.sample_size(10);
+    let g = dataset("socEpinions", 300, 0).expect("dataset");
+    group.bench_function("with_reduction", |b| b.iter(|| compress_r(&g)));
+    group.bench_function("without_reduction", |b| {
+        b.iter(|| compress_r_without_reduction(&g))
+    });
+    group.finish();
+}
+
+fn ablation_rank_stratification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rank_stratification");
+    group.sample_size(10);
+    let g = pattern_dataset("Youtube", 300, 0).expect("dataset");
+    group.bench_function("rank_seeded", |b| b.iter(|| bisimulation_partition(&g)));
+    group.bench_function("label_seeded_only", |b| b.iter(|| reference_bisimulation(&g)));
+    group.finish();
+}
+
+fn ablation_chunk_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_signature_chunk_width");
+    group.sample_size(10);
+    let g = dataset("wikiVote", 100, 0).expect("dataset");
+    for chunk in [256usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| compress_r_with_chunk(&g, chunk))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_transitive_reduction,
+    ablation_rank_stratification,
+    ablation_chunk_width
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the batch compression functions
+//! (`compressR`, `compressB`, the `AHO` baseline) — the cost side of Exp-1
+//! (Tables 1 and 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpgc_generators::datasets::{dataset, pattern_dataset};
+use qpgc_pattern::compress::compress_b;
+use qpgc_reach::aho::aho_reduction;
+use qpgc_reach::compress::compress_r;
+
+fn bench_compress_r(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_compressR");
+    group.sample_size(10);
+    for name in ["P2P", "wikiVote", "socEpinions"] {
+        let g = dataset(name, 200, 0).expect("dataset");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| compress_r(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aho(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_AHO_baseline");
+    group.sample_size(10);
+    for name in ["P2P", "wikiVote"] {
+        let g = dataset(name, 200, 0).expect("dataset");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| aho_reduction(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_compressB");
+    group.sample_size(10);
+    for name in ["California", "P2P", "Youtube"] {
+        let g = pattern_dataset(name, 200, 0).expect("dataset");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| compress_b(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress_r, bench_aho, bench_compress_b);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion counterpart of Figures 12(e)–12(h): incremental maintenance
+//! versus recompression, and incremental matching versus
+//! maintain-compression-then-match.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpgc_generators::datasets::{dataset, pattern_dataset};
+use qpgc_generators::pattern_gen::{random_pattern, PatternGenConfig};
+use qpgc_generators::updates::{insert_batch, mixed_batch};
+use qpgc_pattern::bounded::bounded_match;
+use qpgc_pattern::compress::compress_b;
+use qpgc_pattern::inc_match::IncrementalMatch;
+use qpgc_pattern::incremental::IncrementalPattern;
+use qpgc_reach::compress::compress_r;
+use qpgc_reach::incremental::IncrementalReach;
+
+fn bench_inc_rcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12ef_incRCM");
+    group.sample_size(10);
+    let g0 = dataset("socEpinions", 300, 0).expect("dataset");
+    for frac in [1usize, 5] {
+        let size = g0.edge_count() * frac / 100;
+        let batch = insert_batch(&g0, size, frac as u64);
+        group.bench_with_input(
+            BenchmarkId::new("incRCM", format!("{frac}%_insertions")),
+            &batch,
+            |b, batch| {
+                b.iter_batched(
+                    || (g0.clone(), IncrementalReach::new(&g0)),
+                    |(mut g, mut inc)| inc.apply(&mut g, batch),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compressR_from_scratch", format!("{frac}%_insertions")),
+            &batch,
+            |b, batch| {
+                b.iter_batched(
+                    || {
+                        let mut g = g0.clone();
+                        batch.apply_to(&mut g);
+                        g
+                    },
+                    |g| compress_r(&g),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inc_pcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12g_incPCM");
+    group.sample_size(10);
+    let g0 = pattern_dataset("Youtube", 300, 0).expect("dataset");
+    let batch = mixed_batch(&g0, g0.edge_count() / 50, 3);
+
+    group.bench_function("incPCM", |b| {
+        b.iter_batched(
+            || (g0.clone(), IncrementalPattern::new(&g0)),
+            |(mut g, mut inc)| inc.apply(&mut g, &batch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("IncBsim_one_by_one", |b| {
+        b.iter_batched(
+            || (g0.clone(), IncrementalPattern::new(&g0)),
+            |(mut g, mut inc)| inc.apply_one_by_one(&mut g, &batch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("compressB_from_scratch", |b| {
+        b.iter_batched(
+            || {
+                let mut g = g0.clone();
+                batch.apply_to(&mut g);
+                g
+            },
+            |g| compress_b(&g),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_incremental_querying(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12h_incremental_querying");
+    group.sample_size(10);
+    let g0 = pattern_dataset("Citation", 300, 0).expect("dataset");
+    let pattern = random_pattern(&g0, &PatternGenConfig::new(4, 4, 3, 11));
+    let batch = mixed_batch(&g0, g0.edge_count() / 50, 9);
+
+    group.bench_function("IncBMatch_on_G", |b| {
+        b.iter_batched(
+            || (g0.clone(), IncrementalMatch::new(&g0, pattern.clone())),
+            |(mut g, mut inc)| {
+                inc.apply(&mut g, &batch);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("incPCM_plus_Match_on_Gr", |b| {
+        b.iter_batched(
+            || (g0.clone(), IncrementalPattern::new(&g0)),
+            |(mut g, mut inc)| {
+                inc.apply(&mut g, &batch);
+                let compression = inc.to_compression();
+                bounded_match(&compression.graph, &pattern).map(|m| compression.post_process(&m))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inc_rcm,
+    bench_inc_pcm,
+    bench_incremental_querying
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion counterpart of Figures 12(b)/12(c): bounded-simulation `Match`
+//! on original vs compressed graphs, across pattern sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpgc_generators::pattern_gen::{random_pattern, PatternGenConfig};
+use qpgc_generators::synthetic::{random_graph, SyntheticConfig};
+use qpgc_pattern::bounded::bounded_match;
+use qpgc_pattern::compress::compress_b;
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12bc_match");
+    group.sample_size(10);
+    let g = random_graph(&SyntheticConfig::new(2_000, 17_000, 10, 5));
+    let pc = compress_b(&g);
+
+    for size in [3usize, 5, 8] {
+        let pattern = random_pattern(&g, &PatternGenConfig::new(size, size, 3, size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("Match_on_G", format!("({size},{size},3)")),
+            &pattern,
+            |b, p| b.iter(|| bounded_match(&g, p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("Match_on_Gr", format!("({size},{size},3)")),
+            &pattern,
+            |b, p| {
+                b.iter(|| {
+                    bounded_match(&pc.graph, p).map(|m| pc.post_process(&m))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match);
+criterion_main!(benches);

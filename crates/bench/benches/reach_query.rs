@@ -1,0 +1,56 @@
+//! Criterion counterpart of Fig. 12(a): BFS and bidirectional BFS
+//! reachability queries evaluated on the original graph vs the compressed
+//! graph, with identical, unmodified algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpgc_bench::harness::random_pairs;
+use qpgc_generators::datasets::dataset;
+use qpgc_graph::traversal::{bfs_reachable, bidirectional_reachable};
+use qpgc_reach::compress::compress_r;
+
+fn bench_reachability_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_reachability");
+    group.sample_size(10);
+    for name in ["P2P", "socEpinions"] {
+        let g = dataset(name, 200, 0).expect("dataset");
+        let rc = compress_r(&g);
+        let pairs = random_pairs(&g, 100, 7);
+
+        group.bench_with_input(BenchmarkId::new("BFS_on_G", name), &g, |b, g| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(u, v)| bfs_reachable(g, u, v))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BFS_on_Gr", name), &rc, |b, rc| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(u, v)| rc.query_with(u, v, bfs_reachable))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BIBFS_on_G", name), &g, |b, g| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(u, v)| bidirectional_reachable(g, u, v))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BIBFS_on_Gr", name), &rc, |b, rc| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|&&(u, v)| rc.query_with(u, v, bidirectional_reachable))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability_queries);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Exp-4: effectiveness of incremental compression as graphs evolve
+//! (Figures 12(i)–12(l)): how the compression ratios change under the
+//! densification law (synthetic) and power-law edge growth (real-life
+//! emulations).
+
+use qpgc_generators::datasets::{dataset, pattern_dataset};
+use qpgc_generators::evolution::{
+    densification_step, power_law_growth_step, DensificationConfig, PowerLawGrowthConfig,
+};
+use qpgc_graph::LabeledGraph;
+use qpgc_pattern::compress::compress_b;
+use qpgc_reach::compress::compress_r;
+
+use crate::harness::{ExperimentResult, Row};
+
+const EVOLUTION_ITERATIONS: usize = 5;
+const GROWTH_STEPS: usize = 5;
+
+fn densification_series(alpha: f64, start_nodes: usize) -> Vec<(usize, LabeledGraph)> {
+    let mut g = LabeledGraph::new();
+    for i in 0..start_nodes {
+        g.add_node_with_label(&format!("L{}", i % 10));
+    }
+    let cfg = DensificationConfig {
+        alpha,
+        beta: 1.2,
+        labels: 10,
+        seed: 17,
+    };
+    let mut out = Vec::new();
+    for i in 0..EVOLUTION_ITERATIONS {
+        densification_step(&mut g, &cfg, i as u64);
+        out.push((i, g.clone()));
+    }
+    out
+}
+
+/// Fig. 12(i): `RCr` over densification-law iterations for α ∈ {1.05, 1.10}.
+pub fn fig12i() -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig12i",
+        "RCr under densification growth (paper: denser ⇒ better reachability compression)",
+    );
+    for &alpha in &[1.05f64, 1.10] {
+        for (i, g) in densification_series(alpha, 2000) {
+            let ratio = compress_r(&g).ratio(&g);
+            res.push(
+                Row::new(format!("α={alpha} iter {i}"))
+                    .cell("|V|", g.node_count() as f64)
+                    .cell("|E|", g.edge_count() as f64)
+                    .cell("RCr", ratio),
+            );
+        }
+    }
+    res
+}
+
+/// Fig. 12(k): `PCr` over densification-law iterations (`|L| = 10`).
+pub fn fig12k() -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig12k",
+        "PCr under densification growth (paper: PCr largely insensitive to size)",
+    );
+    for &alpha in &[1.05f64, 1.10] {
+        for (i, g) in densification_series(alpha, 1500) {
+            let ratio = compress_b(&g).ratio(&g);
+            res.push(
+                Row::new(format!("α={alpha} iter {i}"))
+                    .cell("|V|", g.node_count() as f64)
+                    .cell("PCr", ratio),
+            );
+        }
+    }
+    res
+}
+
+/// Fig. 12(j): `RCr` of real-life emulations as edges grow by 5 % per step
+/// with preferential attachment.
+pub fn fig12j(scale: usize) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig12j",
+        "RCr under power-law edge growth of real-life graphs (paper: ratio falls as edges grow)",
+    );
+    for name in ["P2P", "wikiVote", "citHepTh"] {
+        let mut g = dataset(name, scale, 0).expect("known dataset");
+        let base_edges = g.edge_count() as f64;
+        let cfg = PowerLawGrowthConfig::default();
+        for step in 0..=GROWTH_STEPS {
+            if step > 0 {
+                power_law_growth_step(&mut g, &cfg, step as u64);
+            }
+            let grown = 100.0 * (g.edge_count() as f64 - base_edges) / base_edges;
+            let ratio = compress_r(&g).ratio(&g);
+            res.push(
+                Row::new(format!("{name} +{grown:.0}%E"))
+                    .cell("|E|", g.edge_count() as f64)
+                    .cell("RCr", ratio),
+            );
+        }
+    }
+    res
+}
+
+/// Fig. 12(l): `PCr` of real-life emulations as edges grow by 5 % per step.
+pub fn fig12l(scale: usize) -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "fig12l",
+        "PCr under power-law edge growth of real-life graphs (paper: ratio creeps up as edges grow)",
+    );
+    for name in ["California", "Internet", "Youtube"] {
+        let mut g = pattern_dataset(name, scale, 0).expect("known dataset");
+        let base_edges = g.edge_count() as f64;
+        let cfg = PowerLawGrowthConfig::default();
+        for step in 0..=GROWTH_STEPS {
+            if step > 0 {
+                power_law_growth_step(&mut g, &cfg, step as u64);
+            }
+            let grown = 100.0 * (g.edge_count() as f64 - base_edges) / base_edges;
+            let ratio = compress_b(&g).ratio(&g);
+            res.push(
+                Row::new(format!("{name} +{grown:.0}%E"))
+                    .cell("|E|", g.edge_count() as f64)
+                    .cell("PCr", ratio),
+            );
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12i_denser_graphs_compress_better() {
+        let res = fig12i();
+        // Within each α series the ratio at the last iteration should not be
+        // worse than at the first (the paper's "more edges ⇒ more
+        // reachability-equivalent nodes").
+        for alpha in ["α=1.05", "α=1.1"] {
+            let series: Vec<f64> = res
+                .rows
+                .iter()
+                .filter(|r| r.label.starts_with(alpha))
+                .map(|r| r.get("RCr").unwrap())
+                .collect();
+            assert!(!series.is_empty());
+            assert!(
+                series.last().unwrap() <= series.first().unwrap(),
+                "{alpha}: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig12j_ratio_not_increasing_under_growth() {
+        let res = fig12j(200);
+        // For each dataset the final RCr should not exceed the initial one
+        // by much (edge growth improves or maintains compressibility).
+        for name in ["P2P", "wikiVote", "citHepTh"] {
+            let series: Vec<f64> = res
+                .rows
+                .iter()
+                .filter(|r| r.label.starts_with(name))
+                .map(|r| r.get("RCr").unwrap())
+                .collect();
+            assert!(series.len() == GROWTH_STEPS + 1);
+            assert!(*series.last().unwrap() <= series.first().unwrap() * 1.1);
+        }
+    }
+
+    #[test]
+    fn fig12k_and_l_produce_full_series() {
+        assert_eq!(fig12k().rows.len(), 2 * EVOLUTION_ITERATIONS);
+        assert_eq!(fig12l(300).rows.len(), 3 * (GROWTH_STEPS + 1));
+    }
+}

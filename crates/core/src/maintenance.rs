@@ -1,0 +1,189 @@
+//! Incremental maintenance façade (Section 5).
+//!
+//! [`MaintainedReachability`] and [`MaintainedPattern`] own the data graph
+//! together with its compression and keep the two in sync under edge
+//! updates: `R(G ⊕ ΔG) = Gr ⊕ ΔGr`, computed by `incRCM` / `incPCM` without
+//! recompression.
+
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use qpgc_pattern::compress::PatternCompression;
+use qpgc_pattern::incremental::{IncPatternStats, IncrementalPattern};
+use qpgc_pattern::pattern::{MatchRelation, Pattern};
+use qpgc_reach::compress::ReachCompression;
+use qpgc_reach::incremental::{IncStats, IncrementalReach};
+
+use crate::queries::ReachQuery;
+
+/// A data graph plus its incrementally-maintained reachability-preserving
+/// compression.
+#[derive(Clone, Debug)]
+pub struct MaintainedReachability {
+    graph: LabeledGraph,
+    inc: IncrementalReach,
+}
+
+impl MaintainedReachability {
+    /// Compresses `g` and takes ownership of it for future maintenance.
+    pub fn new(g: LabeledGraph) -> Self {
+        let inc = IncrementalReach::new(&g);
+        MaintainedReachability { graph: g, inc }
+    }
+
+    /// The current data graph `G`.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// Number of hypernodes in the maintained compression.
+    pub fn class_count(&self) -> usize {
+        self.inc.class_count()
+    }
+
+    /// Applies `ΔG`, updating both the graph and its compression.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> IncStats {
+        self.inc.apply(&mut self.graph, batch)
+    }
+
+    /// Answers a reachability query through the compressed form.
+    pub fn answer(&self, query: &ReachQuery) -> bool {
+        self.inc.query(query.from, query.to)
+    }
+
+    /// Materializes the current compression (a transitively reduced `Gr`
+    /// plus node ↔ hypernode indexes).
+    pub fn compression(&self) -> ReachCompression {
+        self.inc.to_compression()
+    }
+}
+
+/// A data graph plus its incrementally-maintained pattern-preserving
+/// compression.
+#[derive(Clone, Debug)]
+pub struct MaintainedPattern {
+    graph: LabeledGraph,
+    inc: IncrementalPattern,
+}
+
+impl MaintainedPattern {
+    /// Compresses `g` and takes ownership of it for future maintenance.
+    pub fn new(g: LabeledGraph) -> Self {
+        let inc = IncrementalPattern::new(&g);
+        MaintainedPattern { graph: g, inc }
+    }
+
+    /// The current data graph `G`.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// Number of hypernodes in the maintained compression.
+    pub fn class_count(&self) -> usize {
+        self.inc.class_count()
+    }
+
+    /// Applies `ΔG`, updating both the graph and its compression.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> IncPatternStats {
+        self.inc.apply(&mut self.graph, batch)
+    }
+
+    /// The hypernode of `Gr` that currently contains `v`.
+    pub fn class_of(&self, v: NodeId) -> u32 {
+        self.inc.class_of(v)
+    }
+
+    /// Answers a pattern query by evaluating it on the maintained compressed
+    /// graph and expanding hypernodes (the paper's Fig. 12(h) strategy:
+    /// `incPCM` + `Match` on `Gr`).
+    pub fn answer(&self, query: &Pattern) -> Option<MatchRelation> {
+        let compression = self.inc.to_compression();
+        let on_gr = qpgc_pattern::bounded::bounded_match(&compression.graph, query)?;
+        Some(compression.post_process(&on_gr))
+    }
+
+    /// Materializes the current compression.
+    pub fn compression(&self) -> PatternCompression {
+        self.inc.to_compression()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpgc_pattern::bounded::bounded_match;
+
+    fn sample() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b1 = g.add_node_with_label("B");
+        let b2 = g.add_node_with_label("B");
+        let c = g.add_node_with_label("C");
+        g.add_edge(a, b1);
+        g.add_edge(a, b2);
+        g.add_edge(b1, c);
+        g.add_edge(b2, c);
+        g
+    }
+
+    #[test]
+    fn maintained_reachability_tracks_updates() {
+        let g = sample();
+        let mut m = MaintainedReachability::new(g);
+        assert_eq!(m.class_count(), 3);
+        assert!(m.answer(&ReachQuery::new(NodeId(0), NodeId(3))));
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(1), NodeId(3));
+        m.apply(&batch);
+        assert!(!m.answer(&ReachQuery::new(NodeId(1), NodeId(3))));
+        assert!(m.answer(&ReachQuery::new(NodeId(2), NodeId(3))));
+        // The maintained compression agrees with recompressing from scratch.
+        let scratch = qpgc_reach::compress::compress_r(m.graph());
+        assert_eq!(
+            m.compression().partition.canonical(),
+            scratch.partition.canonical()
+        );
+    }
+
+    #[test]
+    fn maintained_pattern_tracks_updates() {
+        let g = sample();
+        let mut m = MaintainedPattern::new(g);
+        let mut q = Pattern::new();
+        let a = q.add_node("A");
+        let b = q.add_node("B");
+        let c = q.add_node("C");
+        q.add_edge(a, b, 1);
+        q.add_edge(b, c, 1);
+        assert!(m.answer(&q).is_some());
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(1), NodeId(3));
+        batch.delete(NodeId(2), NodeId(3));
+        m.apply(&batch);
+        assert!(m.answer(&q).is_none());
+        assert!(bounded_match(m.graph(), &q).is_none());
+
+        let scratch = qpgc_pattern::compress::compress_b(m.graph());
+        assert_eq!(
+            m.compression().partition.canonical(),
+            scratch.partition.canonical()
+        );
+    }
+
+    #[test]
+    fn maintained_pattern_answers_match_direct_evaluation() {
+        let g = sample();
+        let mut m = MaintainedPattern::new(g);
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(3), NodeId(0));
+        m.apply(&batch);
+
+        let mut q = Pattern::new();
+        let a = q.add_node("A");
+        let c = q.add_node("C");
+        q.add_edge(c, a, 1);
+        let via_compression = m.answer(&q).unwrap();
+        let direct = bounded_match(m.graph(), &q).unwrap();
+        assert_eq!(via_compression.canonical(), direct.canonical());
+    }
+}

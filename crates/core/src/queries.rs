@@ -1,0 +1,53 @@
+//! Query types shared by the compression schemes.
+
+use qpgc_graph::{LabeledGraph, NodeId};
+
+/// A reachability query `QR(from, to)`: "can `from` reach `to`?" (Section
+/// 2.1). Evaluation on the original graph uses BFS; evaluation through a
+/// compression rewrites the endpoints to hypernodes first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReachQuery {
+    /// Source node (in the graph the query is *posed* against).
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+}
+
+impl ReachQuery {
+    /// Creates the query `QR(from, to)`.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        ReachQuery { from, to }
+    }
+
+    /// Evaluates the query directly on a graph with BFS (the baseline the
+    /// paper compares compressed evaluation against).
+    pub fn evaluate(&self, g: &LabeledGraph) -> bool {
+        qpgc_graph::traversal::bfs_reachable(g, self.from, self.to)
+    }
+
+    /// Evaluates the query directly on a graph with bidirectional BFS.
+    pub fn evaluate_bidirectional(&self, g: &LabeledGraph) -> bool {
+        qpgc_graph::traversal::bidirectional_reachable(g, self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_matches_both_algorithms() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        let c = g.add_node_with_label("C");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let q = ReachQuery::new(a, c);
+        assert!(q.evaluate(&g));
+        assert!(q.evaluate_bidirectional(&g));
+        let back = ReachQuery::new(c, a);
+        assert!(!back.evaluate(&g));
+        assert!(!back.evaluate_bidirectional(&g));
+    }
+}

@@ -1,0 +1,215 @@
+//! Graph evolution models for Exp-4 (Figures 12(i)–12(l)).
+//!
+//! Two growth models are used:
+//!
+//! * the **densification law** of Leskovec et al. for synthetic graphs: at
+//!   every iteration the node count grows to `β · |Vi|` and the edge count
+//!   to `|V_{i+1}|^α`, with `α ∈ {1.05, 1.10}` and `β = 1.2` in the paper;
+//! * **power-law edge growth** for the real-life emulations: in each step
+//!   the edge count grows by a fixed rate (5 % in the paper) and 80 % of the
+//!   new edges attach to high-degree nodes.
+//!
+//! Both are expressed as functions that *extend an existing graph in place*
+//! and return the batch of insertions performed, so they double as workload
+//! generators for the incremental-maintenance experiments.
+
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the densification-law evolution.
+#[derive(Clone, Debug)]
+pub struct DensificationConfig {
+    /// Densification exponent `α` (edges = nodes^α).
+    pub alpha: f64,
+    /// Node growth factor `β` per iteration.
+    pub beta: f64,
+    /// Label alphabet size for newly created nodes.
+    pub labels: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DensificationConfig {
+    fn default() -> Self {
+        DensificationConfig {
+            alpha: 1.05,
+            beta: 1.2,
+            labels: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// Performs one densification iteration: grows the node set by `β` and adds
+/// uniformly random edges until `|E| = |V|^α`. Returns the insertions made.
+pub fn densification_step(g: &mut LabeledGraph, cfg: &DensificationConfig, iteration: u64) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(iteration));
+    let old_nodes = g.node_count();
+    let new_nodes = ((old_nodes as f64 * cfg.beta).ceil() as usize).max(old_nodes + 1);
+    for i in old_nodes..new_nodes {
+        let l = i % cfg.labels.max(1);
+        g.add_node_with_label(&format!("L{l}"));
+    }
+    let target_edges = (new_nodes as f64).powf(cfg.alpha).ceil() as usize;
+    let mut batch = UpdateBatch::new();
+    let mut attempts = 0usize;
+    while g.edge_count() < target_edges && attempts < target_edges * 20 {
+        let u = rng.gen_range(0..new_nodes) as u32;
+        let v = rng.gen_range(0..new_nodes) as u32;
+        if g.add_edge(NodeId(u), NodeId(v)) {
+            batch.insert(NodeId(u), NodeId(v));
+        }
+        attempts += 1;
+    }
+    batch
+}
+
+/// Parameters of the power-law edge-growth model used on the real-life
+/// emulations.
+#[derive(Clone, Debug)]
+pub struct PowerLawGrowthConfig {
+    /// Fraction of `|E|` added per step (the paper uses 0.05).
+    pub edge_growth_rate: f64,
+    /// Probability that a new edge attaches to a high-degree node (0.8).
+    pub high_degree_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PowerLawGrowthConfig {
+    fn default() -> Self {
+        PowerLawGrowthConfig {
+            edge_growth_rate: 0.05,
+            high_degree_bias: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+/// Performs one power-law growth step: adds `rate · |E|` edges, attaching
+/// each with probability `high_degree_bias` to one of the top-degree nodes.
+/// Returns the insertions made.
+pub fn power_law_growth_step(
+    g: &mut LabeledGraph,
+    cfg: &PowerLawGrowthConfig,
+    iteration: u64,
+) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(iteration));
+    let n = g.node_count();
+    let mut batch = UpdateBatch::new();
+    if n < 2 {
+        return batch;
+    }
+    let to_add = ((g.edge_count() as f64) * cfg.edge_growth_rate).ceil() as usize;
+
+    // The "high degree" pool: the top ~5% of nodes by total degree.
+    let mut by_degree: Vec<NodeId> = g.nodes().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)));
+    let pool = &by_degree[..(n / 20).max(1)];
+
+    let mut attempts = 0usize;
+    while batch.len() < to_add && attempts < to_add * 20 {
+        attempts += 1;
+        let u = NodeId(rng.gen_range(0..n) as u32);
+        let v = if rng.gen_bool(cfg.high_degree_bias) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            NodeId(rng.gen_range(0..n) as u32)
+        };
+        if u != v && g.add_edge(u, v) {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{power_law_graph, SyntheticConfig};
+
+    #[test]
+    fn densification_grows_nodes_and_edges() {
+        let mut g = LabeledGraph::new();
+        for i in 0..100 {
+            g.add_node_with_label(&format!("L{}", i % 5));
+        }
+        let cfg = DensificationConfig {
+            alpha: 1.1,
+            beta: 1.2,
+            labels: 5,
+            seed: 3,
+        };
+        let before_nodes = g.node_count();
+        let before_edges = g.edge_count();
+        let batch = densification_step(&mut g, &cfg, 0);
+        assert!(g.node_count() > before_nodes);
+        assert!(g.edge_count() > before_edges);
+        assert_eq!(batch.len(), g.edge_count() - before_edges);
+        // edges ≈ nodes^alpha
+        let expected = (g.node_count() as f64).powf(1.1);
+        assert!((g.edge_count() as f64) >= expected * 0.9);
+    }
+
+    #[test]
+    fn densification_is_deterministic() {
+        let make = || {
+            let mut g = LabeledGraph::new();
+            for i in 0..50 {
+                g.add_node_with_label(&format!("L{}", i % 3));
+            }
+            let cfg = DensificationConfig::default();
+            densification_step(&mut g, &cfg, 1);
+            g
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn power_law_growth_adds_requested_fraction() {
+        let mut g = power_law_graph(&SyntheticConfig::new(500, 2500, 5, 1));
+        let before = g.edge_count();
+        let cfg = PowerLawGrowthConfig::default();
+        let batch = power_law_growth_step(&mut g, &cfg, 0);
+        assert!(batch.len() > 0);
+        assert!(g.edge_count() > before);
+        let expected = (before as f64 * 0.05) as usize;
+        assert!(batch.len() >= expected / 2, "added {} of ~{expected}", batch.len());
+    }
+
+    #[test]
+    fn power_law_growth_prefers_hubs() {
+        let mut g = power_law_graph(&SyntheticConfig::new(400, 2000, 5, 2));
+        let mut by_degree: Vec<NodeId> = g.nodes().collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)));
+        let hubs: std::collections::HashSet<NodeId> =
+            by_degree[..20].iter().copied().collect();
+        let cfg = PowerLawGrowthConfig {
+            edge_growth_rate: 0.2,
+            high_degree_bias: 0.8,
+            seed: 5,
+        };
+        let batch = power_law_growth_step(&mut g, &cfg, 0);
+        let to_hubs = batch
+            .updates()
+            .iter()
+            .filter(|u| hubs.contains(&u.edge().1))
+            .count();
+        assert!(
+            to_hubs * 2 > batch.len(),
+            "expected most edges to target hubs ({to_hubs}/{})",
+            batch.len()
+        );
+    }
+
+    #[test]
+    fn growth_on_tiny_graph_is_safe() {
+        let mut g = LabeledGraph::new();
+        g.add_node_with_label("A");
+        let batch = power_law_growth_step(&mut g, &PowerLawGrowthConfig::default(), 0);
+        assert!(batch.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Random graph pattern generation (the paper's "pattern generator",
+//! Section 6, controlled by `(Vp, Ep, Lp, k)`).
+
+use qpgc_graph::LabeledGraph;
+use qpgc_pattern::pattern::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the pattern generator.
+#[derive(Clone, Debug)]
+pub struct PatternGenConfig {
+    /// Number of pattern nodes `|Vp|`.
+    pub nodes: usize,
+    /// Number of pattern edges `|Ep|`.
+    pub edges: usize,
+    /// Upper bound `k` on finite edge bounds; a small fraction of edges get
+    /// the `*` bound when `allow_unbounded` is set.
+    pub max_bound: u32,
+    /// Whether to sprinkle `*` bounds (10 % of edges).
+    pub allow_unbounded: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PatternGenConfig {
+    /// The `(Vp, Ep, k)` triple notation used in the paper's figures.
+    pub fn new(nodes: usize, edges: usize, max_bound: u32, seed: u64) -> Self {
+        PatternGenConfig {
+            nodes,
+            edges,
+            max_bound,
+            allow_unbounded: false,
+            seed,
+        }
+    }
+}
+
+/// Generates a random connected pattern whose node labels are drawn from the
+/// labels actually present in `g` (so the pattern has a chance to match).
+///
+/// The pattern's underlying shape is a random tree over its nodes plus extra
+/// random edges up to `cfg.edges`, which mirrors how the paper's patterns
+/// are described (small connected queries of 3–8 nodes).
+pub fn random_pattern(g: &LabeledGraph, cfg: &PatternGenConfig) -> Pattern {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut pattern = Pattern::new();
+    if cfg.nodes == 0 {
+        return pattern;
+    }
+
+    // Collect the label vocabulary of the data graph (by name).
+    let mut names: Vec<String> = Vec::new();
+    for v in g.nodes() {
+        if let Some(name) = g.label_name(v) {
+            if !names.contains(&name.to_string()) {
+                names.push(name.to_string());
+            }
+        }
+        if names.len() > 64 {
+            break;
+        }
+    }
+    if names.is_empty() {
+        names.push("_".to_string());
+    }
+
+    for _ in 0..cfg.nodes {
+        let name = &names[rng.gen_range(0..names.len())];
+        pattern.add_node(name);
+    }
+
+    let bound = |rng: &mut StdRng| {
+        if cfg.allow_unbounded && rng.gen_bool(0.1) {
+            None
+        } else {
+            Some(rng.gen_range(1..=cfg.max_bound.max(1)))
+        }
+    };
+
+    // Tree backbone keeps the pattern connected.
+    let mut edge_count = 0;
+    for v in 1..cfg.nodes as u32 {
+        let parent = rng.gen_range(0..v);
+        match bound(&mut rng) {
+            Some(k) => pattern.add_edge(parent, v, k),
+            None => pattern.add_edge_unbounded(parent, v),
+        };
+        edge_count += 1;
+    }
+    // Extra edges.
+    let mut attempts = 0;
+    while edge_count < cfg.edges && attempts < cfg.edges * 10 {
+        attempts += 1;
+        let a = rng.gen_range(0..cfg.nodes as u32);
+        let b = rng.gen_range(0..cfg.nodes as u32);
+        if a == b {
+            continue;
+        }
+        match bound(&mut rng) {
+            Some(k) => pattern.add_edge(a, b, k),
+            None => pattern.add_edge_unbounded(a, b),
+        };
+        edge_count += 1;
+    }
+    pattern
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{random_graph, SyntheticConfig};
+    use qpgc_pattern::pattern::EdgeBound;
+
+    fn data() -> LabeledGraph {
+        random_graph(&SyntheticConfig::new(200, 800, 10, 1))
+    }
+
+    #[test]
+    fn pattern_has_requested_shape() {
+        let g = data();
+        let p = random_pattern(&g, &PatternGenConfig::new(5, 7, 3, 42));
+        assert_eq!(p.node_count(), 5);
+        assert!(p.edge_count() >= 4); // at least the spanning tree
+        assert!(p.edge_count() <= 7);
+        for &(_, _, b) in p.edges() {
+            match b {
+                EdgeBound::Bounded(k) => assert!((1..=3).contains(&k)),
+                EdgeBound::Unbounded => panic!("unbounded not requested"),
+            }
+        }
+    }
+
+    #[test]
+    fn labels_come_from_the_data_graph() {
+        let g = data();
+        let p = random_pattern(&g, &PatternGenConfig::new(6, 6, 2, 7));
+        for u in p.nodes() {
+            assert!(
+                g.interner().get(p.label(u)).is_some(),
+                "label {} not in data graph",
+                p.label(u)
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = data();
+        let cfg = PatternGenConfig::new(4, 5, 3, 11);
+        assert_eq!(random_pattern(&g, &cfg), random_pattern(&g, &cfg));
+    }
+
+    #[test]
+    fn unbounded_edges_appear_when_allowed() {
+        let g = data();
+        let mut cfg = PatternGenConfig::new(8, 20, 3, 5);
+        cfg.allow_unbounded = true;
+        let mut saw_unbounded = false;
+        for seed in 0..20 {
+            cfg.seed = seed;
+            let p = random_pattern(&g, &cfg);
+            if p.edges().iter().any(|&(_, _, b)| b == EdgeBound::Unbounded) {
+                saw_unbounded = true;
+                break;
+            }
+        }
+        assert!(saw_unbounded);
+    }
+
+    #[test]
+    fn empty_pattern_config() {
+        let g = data();
+        let p = random_pattern(&g, &PatternGenConfig::new(0, 0, 1, 0));
+        assert_eq!(p.node_count(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Update-batch generation (`ΔG`) for the incremental-maintenance
+//! experiments (Exp-3, Figures 12(e)–(h)).
+
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a batch of `count` edge insertions between uniformly random
+/// node pairs that are not currently connected by an edge.
+pub fn insert_batch(g: &LabeledGraph, count: usize, seed: u64) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut batch = UpdateBatch::new();
+    if n < 2 {
+        return batch;
+    }
+    let mut attempts = 0;
+    while batch.len() < count && attempts < count * 30 + 100 {
+        attempts += 1;
+        let u = NodeId(rng.gen_range(0..n) as u32);
+        let v = NodeId(rng.gen_range(0..n) as u32);
+        if u != v && !g.has_edge(u, v) {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+/// Generates a batch of `count` insertions where 80 % of the edges attach to
+/// high-degree nodes (the paper's power-law growth assumption for real-life
+/// graphs).
+pub fn preferential_insert_batch(g: &LabeledGraph, count: usize, seed: u64) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut batch = UpdateBatch::new();
+    if n < 2 {
+        return batch;
+    }
+    let mut by_degree: Vec<NodeId> = g.nodes().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)));
+    let pool = &by_degree[..(n / 20).max(1)];
+    let mut attempts = 0;
+    while batch.len() < count && attempts < count * 30 + 100 {
+        attempts += 1;
+        let u = NodeId(rng.gen_range(0..n) as u32);
+        let v = if rng.gen_bool(0.8) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            NodeId(rng.gen_range(0..n) as u32)
+        };
+        if u != v && !g.has_edge(u, v) {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+/// Generates a batch of `count` deletions of uniformly random existing edges
+/// (without repetition).
+pub fn delete_batch(g: &LabeledGraph, count: usize, seed: u64) -> UpdateBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut batch = UpdateBatch::new();
+    let count = count.min(edges.len());
+    // Partial Fisher–Yates shuffle.
+    for i in 0..count {
+        let j = rng.gen_range(i..edges.len());
+        edges.swap(i, j);
+        let (u, v) = edges[i];
+        batch.delete(u, v);
+    }
+    batch
+}
+
+/// Generates a mixed batch with roughly half insertions and half deletions.
+pub fn mixed_batch(g: &LabeledGraph, count: usize, seed: u64) -> UpdateBatch {
+    let ins = insert_batch(g, count / 2 + count % 2, seed ^ 0x5ee1);
+    let del = delete_batch(g, count / 2, seed ^ 0xde15);
+    let mut batch = UpdateBatch::new();
+    let mut ins_iter = ins.updates().iter();
+    let mut del_iter = del.updates().iter();
+    // Interleave so the batch exercises both paths in arbitrary order.
+    loop {
+        match (ins_iter.next(), del_iter.next()) {
+            (None, None) => break,
+            (a, b) => {
+                if let Some(u) = a {
+                    batch.insert(u.edge().0, u.edge().1);
+                }
+                if let Some(u) = b {
+                    batch.delete(u.edge().0, u.edge().1);
+                }
+            }
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{power_law_graph, random_graph, SyntheticConfig};
+
+    fn data() -> LabeledGraph {
+        random_graph(&SyntheticConfig::new(300, 1200, 5, 3))
+    }
+
+    #[test]
+    fn insert_batch_only_adds_new_edges() {
+        let g = data();
+        let b = insert_batch(&g, 50, 1);
+        assert_eq!(b.len(), 50);
+        for u in b.updates() {
+            assert!(u.is_insert());
+            let (a, c) = u.edge();
+            assert!(!g.has_edge(a, c));
+        }
+    }
+
+    #[test]
+    fn delete_batch_only_removes_existing_edges() {
+        let g = data();
+        let b = delete_batch(&g, 40, 2);
+        assert_eq!(b.len(), 40);
+        let mut seen = std::collections::HashSet::new();
+        for u in b.updates() {
+            assert!(!u.is_insert());
+            assert!(g.has_edge(u.edge().0, u.edge().1));
+            assert!(seen.insert(u.edge()), "duplicate deletion");
+        }
+    }
+
+    #[test]
+    fn delete_batch_caps_at_edge_count() {
+        let g = random_graph(&SyntheticConfig::new(10, 12, 2, 0));
+        let b = delete_batch(&g, 1000, 0);
+        assert_eq!(b.len(), g.edge_count());
+    }
+
+    #[test]
+    fn mixed_batch_has_both_kinds() {
+        let g = data();
+        let b = mixed_batch(&g, 30, 5);
+        let (ins, del) = b.split();
+        assert!(!ins.is_empty());
+        assert!(!del.is_empty());
+        assert!(b.len() >= 28);
+    }
+
+    #[test]
+    fn preferential_insert_targets_hubs() {
+        let g = power_law_graph(&SyntheticConfig::new(400, 2400, 3, 9));
+        let mut by_degree: Vec<NodeId> = g.nodes().collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)));
+        let hubs: std::collections::HashSet<NodeId> = by_degree[..20].iter().copied().collect();
+        let b = preferential_insert_batch(&g, 100, 4);
+        let hub_hits = b
+            .updates()
+            .iter()
+            .filter(|u| hubs.contains(&u.edge().1))
+            .count();
+        assert!(hub_hits > b.len() / 2);
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let g = data();
+        assert_eq!(insert_batch(&g, 20, 7), insert_batch(&g, 20, 7));
+        assert_eq!(delete_batch(&g, 20, 7), delete_batch(&g, 20, 7));
+        assert_eq!(mixed_batch(&g, 20, 7), mixed_batch(&g, 20, 7));
+    }
+
+    #[test]
+    fn tiny_graphs_are_safe() {
+        let mut g = LabeledGraph::new();
+        g.add_node_with_label("A");
+        assert!(insert_batch(&g, 5, 0).is_empty());
+        assert!(delete_batch(&g, 5, 0).is_empty());
+        assert!(preferential_insert_batch(&g, 5, 0).is_empty());
+    }
+}

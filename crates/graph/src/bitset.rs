@@ -1,0 +1,270 @@
+//! A small fixed-capacity bit set.
+//!
+//! The reachability equivalence relation of Section 3 is computed by
+//! comparing ancestor and descendant *sets*; representing those sets as
+//! packed `u64` words makes the union-and-compare loops branch-free and is
+//! what keeps `compressR` practical on graphs with tens of thousands of
+//! SCCs. We implement the bit set ourselves rather than pulling in an
+//! external crate so that the whole workspace builds from the approved
+//! offline dependency list.
+
+use std::fmt;
+
+/// A fixed-capacity set of `usize` values in `0..len`, stored as packed
+/// 64-bit words.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct FixedBitSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+const BITS: usize = 64;
+
+impl FixedBitSet {
+    /// Creates a set able to hold values in `0..len`, initially empty.
+    pub fn with_capacity(len: usize) -> Self {
+        FixedBitSet {
+            blocks: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// Capacity of the set (the exclusive upper bound on storable values).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the set has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `bit` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.len()`.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) {
+        assert!(bit < self.len, "bit {bit} out of bounds ({})", self.len);
+        self.blocks[bit / BITS] |= 1u64 << (bit % BITS);
+    }
+
+    /// Removes `bit` from the set.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) {
+        assert!(bit < self.len, "bit {bit} out of bounds ({})", self.len);
+        self.blocks[bit / BITS] &= !(1u64 << (bit % BITS));
+    }
+
+    /// Tests whether `bit` is in the set. Out-of-range bits are reported as
+    /// absent.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        if bit >= self.len {
+            return false;
+        }
+        self.blocks[bit / BITS] & (1u64 << (bit % BITS)) != 0
+    }
+
+    /// Removes all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Number of elements currently in the set.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    pub fn intersect_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// `true` if the two sets share no element.
+    pub fn is_disjoint(&self, other: &FixedBitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` if every element of `self` is also in `other`.
+    pub fn is_subset(&self, other: &FixedBitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements of the set in increasing order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            set: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Raw access to the packed words (used for hashing partitions cheaply).
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Approximate heap footprint in bytes (used in the memory-cost
+    /// experiment of Fig. 12(d)).
+    pub fn heap_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+impl fmt::Debug for FixedBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.ones()).finish()
+    }
+}
+
+/// Iterator over the set bits of a [`FixedBitSet`].
+pub struct Ones<'a> {
+    set: &'a FixedBitSet,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * BITS + tz);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.set.blocks.len() {
+                return None;
+            }
+            self.current = self.set.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FixedBitSet::with_capacity(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0));
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(500));
+        assert_eq!(s.count_ones(), 4);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count_ones(), 3);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut s = FixedBitSet::with_capacity(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn union_intersect_subset() {
+        let mut a = FixedBitSet::with_capacity(100);
+        let mut b = FixedBitSet::with_capacity(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.ones().collect::<Vec<_>>(), vec![1, 70, 99]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.ones().collect::<Vec<_>>(), vec![70]);
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(!a.is_disjoint(&b));
+        let mut c = FixedBitSet::with_capacity(100);
+        c.insert(5);
+        assert!(c.is_disjoint(&a));
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let mut s = FixedBitSet::with_capacity(300);
+        for i in [7usize, 64, 65, 128, 255, 299] {
+            s.insert(i);
+        }
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![7, 64, 65, 128, 255, 299]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = FixedBitSet::with_capacity(0);
+        assert!(s.is_empty());
+        assert_eq!(s.ones().count(), 0);
+        assert_eq!(s.count_ones(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = FixedBitSet::with_capacity(128);
+        let mut b = FixedBitSet::with_capacity(128);
+        a.insert(3);
+        a.insert(100);
+        b.insert(100);
+        b.insert(3);
+        assert_eq!(a, b);
+        let hash = |s: &FixedBitSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn heap_bytes_reflects_capacity() {
+        let s = FixedBitSet::with_capacity(1024);
+        assert!(s.heap_bytes() >= 1024 / 8);
+    }
+}

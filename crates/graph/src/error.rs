@@ -1,0 +1,92 @@
+//! Error types shared by the graph substrate.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors produced by graph construction, mutation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced an index outside the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// An operation required a DAG but the graph contained a cycle.
+    NotADag,
+    /// A parse error while reading the text edge-list format.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "node {node} is out of bounds for a graph with {node_count} nodes"
+            ),
+            GraphError::NotADag => write!(f, "operation requires an acyclic graph"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId(9),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        assert!(GraphError::NotADag.to_string().contains("acyclic"));
+        let p = GraphError::Parse {
+            line: 4,
+            message: "bad edge".into(),
+        };
+        assert!(p.to_string().contains("line 4"));
+        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(io.source().is_some());
+        assert!(GraphError::NotADag.source().is_none());
+    }
+}

@@ -1,0 +1,479 @@
+//! The mutable labeled directed graph `G = (V, E, L)`.
+//!
+//! This is the paper's data-graph model (Section 2.1): a finite node set,
+//! a set of directed edges, and a total labelling function over a finite
+//! alphabet Σ. Both forward and reverse adjacency are maintained because
+//! every algorithm in the system needs one or the other (ancestor sets,
+//! reverse BFS for bounded simulation, parent lookups during incremental
+//! maintenance).
+
+use std::collections::HashMap;
+
+use crate::error::{GraphError, Result};
+use crate::ids::{Label, LabelInterner, NodeId};
+
+/// A mutable labeled directed graph.
+///
+/// * Nodes are dense [`NodeId`]s `0..node_count()`.
+/// * Each node carries exactly one interned [`Label`].
+/// * Edges are unweighted, directed, and unique (the edge set is a set, as
+///   in the paper; inserting a duplicate edge is a no-op).
+/// * Self-loops are allowed (`E ⊆ V × V`).
+#[derive(Clone, Debug, Default)]
+pub struct LabeledGraph {
+    labels: Vec<Label>,
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    edge_count: usize,
+    interner: LabelInterner,
+}
+
+impl LabeledGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        LabeledGraph {
+            labels: Vec::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+            edge_count: 0,
+            interner: LabelInterner::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The paper's size measure `|G| = |V| + |E|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds a node with an already-interned label and returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId::new(self.labels.len());
+        self.labels.push(label);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Adds a node labelled `name`, interning the name if necessary.
+    pub fn add_node_with_label(&mut self, name: &str) -> NodeId {
+        let label = self.interner.intern(name);
+        self.add_node(label)
+    }
+
+    /// Interns a label name without adding a node.
+    pub fn intern_label(&mut self, name: &str) -> Label {
+        self.interner.intern(name)
+    }
+
+    /// Returns the label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Returns the label name of `v`, if its label was interned by name.
+    pub fn label_name(&self, v: NodeId) -> Option<&str> {
+        self.interner.name(self.labels[v.index()])
+    }
+
+    /// Overwrites the label of `v`.
+    pub fn set_label(&mut self, v: NodeId, label: Label) {
+        self.labels[v.index()] = label;
+    }
+
+    /// Access to the label interner (shared with compressed graphs so hyper
+    /// nodes keep the original label names).
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Returns the number of distinct label values in use (`|L|` of the
+    /// experiment tables).
+    pub fn label_alphabet_size(&self) -> usize {
+        let mut seen: Vec<bool> = Vec::new();
+        for &l in &self.labels {
+            if l.index() >= seen.len() {
+                seen.resize(l.index() + 1, false);
+            }
+            seen[l.index()] = true;
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Checks that `v` refers to an existing node.
+    pub fn check_node(&self, v: NodeId) -> Result<()> {
+        if v.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Adds the directed edge `(u, v)`.
+    ///
+    /// Returns `true` if the edge was inserted, `false` if it was already
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.index() < self.node_count(), "source {u} out of bounds");
+        assert!(v.index() < self.node_count(), "target {v} out of bounds");
+        if self.out[u.index()].contains(&v) {
+            return false;
+        }
+        self.out[u.index()].push(v);
+        self.inn[v.index()].push(u);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes the directed edge `(u, v)`.
+    ///
+    /// Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return false;
+        }
+        let out = &mut self.out[u.index()];
+        if let Some(pos) = out.iter().position(|&w| w == v) {
+            out.swap_remove(pos);
+            let inn = &mut self.inn[v.index()];
+            let ipos = inn
+                .iter()
+                .position(|&w| w == u)
+                .expect("in-adjacency out of sync with out-adjacency");
+            inn.swap_remove(ipos);
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` if the edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.node_count() && self.out[u.index()].contains(&v)
+    }
+
+    /// Out-neighbours (children) of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out[u.index()]
+    }
+
+    /// In-neighbours (parents) of `u`.
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.inn[u.index()]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out[u.index()].len()
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.inn[u.index()].len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, targets)| targets.iter().map(move |&v| (NodeId::new(u), v)))
+    }
+
+    /// Iterator over all node labels, indexed by node id.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Builds the label → nodes index used to seed simulation and
+    /// bisimulation partitions.
+    pub fn nodes_by_label(&self) -> HashMap<Label, Vec<NodeId>> {
+        let mut map: HashMap<Label, Vec<NodeId>> = HashMap::new();
+        for v in self.nodes() {
+            map.entry(self.label(v)).or_default().push(v);
+        }
+        map
+    }
+
+    /// Approximate heap footprint in bytes, counting adjacency and labels.
+    /// Used for the memory-cost comparison of Fig. 12(d).
+    pub fn heap_bytes(&self) -> usize {
+        let node_id = std::mem::size_of::<NodeId>();
+        let adj: usize = self
+            .out
+            .iter()
+            .chain(self.inn.iter())
+            .map(|v| v.capacity() * node_id + std::mem::size_of::<Vec<NodeId>>())
+            .sum();
+        adj + self.labels.capacity() * std::mem::size_of::<Label>()
+    }
+
+    /// Returns a graph with every edge reversed (labels preserved). Several
+    /// algorithms (ancestor sets, reverse bounded BFS) are expressed as the
+    /// forward algorithm on the reverse graph.
+    pub fn reversed(&self) -> LabeledGraph {
+        let mut g = LabeledGraph {
+            labels: self.labels.clone(),
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+            edge_count: self.edge_count,
+            interner: self.interner.clone(),
+        };
+        // Preserve the dense-id invariant; nothing else to fix up.
+        g.edge_count = self.edge_count;
+        g
+    }
+}
+
+/// Convenience builder for constructing small graphs in tests and examples
+/// by label name.
+#[derive(Default)]
+pub struct GraphBuilder {
+    graph: LabeledGraph,
+    named: HashMap<String, NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or returns the existing) node with unique name `name` and label
+    /// `label`.
+    pub fn node(&mut self, name: &str, label: &str) -> NodeId {
+        if let Some(&id) = self.named.get(name) {
+            return id;
+        }
+        let id = self.graph.add_node_with_label(label);
+        self.named.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds an edge between two named nodes (both must already exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is unknown.
+    pub fn edge(&mut self, from: &str, to: &str) -> &mut Self {
+        let u = *self.named.get(from).expect("unknown source node name");
+        let v = *self.named.get(to).expect("unknown target node name");
+        self.graph.add_edge(u, v);
+        self
+    }
+
+    /// Looks up a node id by name.
+    pub fn id(&self, name: &str) -> Option<NodeId> {
+        self.named.get(name).copied()
+    }
+
+    /// Finishes building, returning the graph and the name → id map.
+    pub fn build(self) -> (LabeledGraph, HashMap<String, NodeId>) {
+        (self.graph, self.named)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (LabeledGraph, Vec<NodeId>) {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        let c = g.add_node_with_label("B");
+        let d = g.add_node_with_label("C");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_size() {
+        let (g, _) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.size(), 8);
+        assert!(!g.is_empty());
+        assert_eq!(g.label_alphabet_size(), 3);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let (mut g, n) = diamond();
+        assert!(!g.add_edge(n[0], n[1]));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn self_loop_allowed() {
+        let (mut g, n) = diamond();
+        assert!(g.add_edge(n[3], n[3]));
+        assert!(g.has_edge(n[3], n[3]));
+        assert_eq!(g.out_degree(n[3]), 1);
+        assert_eq!(g.in_degree(n[3]), 3);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_directions() {
+        let (mut g, n) = diamond();
+        assert!(g.remove_edge(n[0], n[1]));
+        assert!(!g.has_edge(n[0], n[1]));
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.out_neighbors(n[0]).contains(&n[1]));
+        assert!(!g.in_neighbors(n[1]).contains(&n[0]));
+        // Removing again is a no-op.
+        assert!(!g.remove_edge(n[0], n[1]));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn remove_edge_out_of_bounds_is_false() {
+        let (mut g, _) = diamond();
+        assert!(!g.remove_edge(NodeId(99), NodeId(0)));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (g, n) = diamond();
+        assert_eq!(g.out_neighbors(n[0]), &[n[1], n[2]]);
+        assert_eq!(g.in_neighbors(n[3]), &[n[1], n[2]]);
+        assert_eq!(g.out_degree(n[0]), 2);
+        assert_eq!(g.in_degree(n[0]), 0);
+    }
+
+    #[test]
+    fn labels_and_names() {
+        let (g, n) = diamond();
+        assert_eq!(g.label(n[1]), g.label(n[2]));
+        assert_ne!(g.label(n[0]), g.label(n[1]));
+        assert_eq!(g.label_name(n[0]), Some("A"));
+        assert_eq!(g.label_name(n[3]), Some("C"));
+    }
+
+    #[test]
+    fn set_label() {
+        let (mut g, n) = diamond();
+        let new = g.intern_label("Z");
+        g.set_label(n[0], new);
+        assert_eq!(g.label_name(n[0]), Some("Z"));
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_edges() {
+        let (g, _) = diamond();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges, {
+            let mut e = vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(3)),
+                (NodeId(2), NodeId(3)),
+            ];
+            e.sort();
+            e
+        });
+    }
+
+    #[test]
+    fn nodes_by_label_groups_correctly() {
+        let (g, n) = diamond();
+        let by_label = g.nodes_by_label();
+        assert_eq!(by_label.len(), 3);
+        let b_nodes = &by_label[&g.label(n[1])];
+        assert_eq!(b_nodes.len(), 2);
+    }
+
+    #[test]
+    fn reversed_swaps_adjacency() {
+        let (g, n) = diamond();
+        let r = g.reversed();
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert!(r.has_edge(n[1], n[0]));
+        assert!(r.has_edge(n[3], n[2]));
+        assert!(!r.has_edge(n[0], n[1]));
+        assert_eq!(r.label(n[0]), g.label(n[0]));
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let (g, _) = diamond();
+        assert!(g.check_node(NodeId(3)).is_ok());
+        assert!(g.check_node(NodeId(4)).is_err());
+    }
+
+    #[test]
+    fn builder_by_name() {
+        let mut b = GraphBuilder::new();
+        b.node("x", "A");
+        b.node("y", "B");
+        b.node("x", "A"); // duplicate name returns existing node
+        b.edge("x", "y");
+        let (g, names) = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(names["x"], names["y"]));
+    }
+
+    #[test]
+    fn heap_bytes_nonzero() {
+        let (g, _) = diamond();
+        assert!(g.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let g = LabeledGraph::with_capacity(100);
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # qpgc-graph
+//!
+//! Labeled directed graph substrate for the *query preserving graph
+//! compression* system (Fan, Li, Wang, Wu — SIGMOD 2012).
+//!
+//! This crate provides everything the compression schemes in `qpgc-reach`
+//! and `qpgc-pattern` need from a graph library, built from scratch:
+//!
+//! * [`LabeledGraph`] — a mutable labeled directed graph `G = (V, E, L)` with
+//!   interned node labels, forward and reverse adjacency, and edge-level
+//!   updates (the unit of change in the paper's incremental maintenance).
+//! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot for
+//!   cache-friendly read-mostly algorithms.
+//! * [`traversal`] — BFS, DFS, bidirectional BFS and bounded-depth BFS, the
+//!   reachability-query evaluation algorithms used in the paper's Exp-2.
+//! * [`scc`] — Tarjan strongly connected components and the condensation
+//!   graph `Gscc` (Section 3.2 optimization, Section 5 rank machinery).
+//! * [`rank`] — topological ranks `r(v)` (Lemma 7) and bisimulation ranks
+//!   `rb(v)` with the well-founded / non-well-founded split (Lemma 9).
+//! * [`reach_sets`] — chunked bit-set ancestor/descendant computation over a
+//!   DAG, the workhorse behind the reachability equivalence relation.
+//! * [`transitive`] — transitive closure queries and the unique transitive
+//!   reduction of a DAG.
+//! * [`io`] — a plain-text edge-list format with labels, for persisting the
+//!   synthetic datasets used by the benchmark harness.
+//! * [`stats`] — size and topology statistics (`|G| = |V| + |E|`, degree and
+//!   label histograms) used when reporting compression ratios.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qpgc_graph::{LabeledGraph, traversal};
+//!
+//! let mut g = LabeledGraph::new();
+//! let a = g.add_node_with_label("A");
+//! let b = g.add_node_with_label("B");
+//! let c = g.add_node_with_label("C");
+//! g.add_edge(a, b);
+//! g.add_edge(b, c);
+//!
+//! assert!(traversal::reachable(&g, a, c));
+//! assert!(!traversal::reachable(&g, c, a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod csr;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod rank;
+pub mod reach_sets;
+pub mod scc;
+pub mod stats;
+pub mod transitive;
+pub mod traversal;
+pub mod update;
+
+pub use bitset::FixedBitSet;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use graph::LabeledGraph;
+pub use ids::{Label, NodeId};
+pub use scc::Condensation;
+pub use stats::GraphStats;
+pub use update::{Update, UpdateBatch};

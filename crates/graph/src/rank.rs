@@ -1,0 +1,337 @@
+//! Rank functions over graphs (Section 5 of the paper).
+//!
+//! Two ranks are defined:
+//!
+//! * The **topological rank** `r(v)` (Section 5.1): `r(v) = 0` if `v` has no
+//!   child, nodes in the same SCC share a rank, and otherwise
+//!   `r(v) = max(r(child)) + 1`. Lemma 7 states that reachability-equivalent
+//!   nodes have equal topological rank — the incremental reachability
+//!   algorithm uses this to split classes cheaply.
+//!
+//! * The **bisimulation rank** `rb(v)` (Section 5.2, following
+//!   Dovier–Piazza–Policriti): `rb(v) = 0` for leaves, `rb(v) = −∞` for
+//!   nodes whose SCC has no outgoing condensation edge but which still have
+//!   children (i.e. nodes that can only reach cycles), and otherwise the
+//!   maximum over children of `rb(c)+1` for well-founded children and
+//!   `rb(c)` for non-well-founded children. Lemma 9 states bisimilar nodes
+//!   have equal `rb`, which both the rank-stratified bisimulation refinement
+//!   and `incPCM` rely on.
+//!
+//! The **well-founded set** `WF` is the set of nodes that cannot reach any
+//! cycle; `NWF = V \ WF`.
+
+use crate::graph::LabeledGraph;
+use crate::scc::Condensation;
+
+/// A bisimulation rank value: either −∞ or a finite non-negative integer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BisimRank {
+    /// The paper's `−∞` rank: the node has children but its SCC cannot reach
+    /// any node outside cyclic components — i.e. it only "sees" cycles.
+    NegInfinity,
+    /// A finite rank.
+    Finite(u32),
+}
+
+impl BisimRank {
+    /// `rank + 1`, where `−∞ + 1 = −∞`.
+    pub fn succ(self) -> BisimRank {
+        match self {
+            BisimRank::NegInfinity => BisimRank::NegInfinity,
+            BisimRank::Finite(k) => BisimRank::Finite(k + 1),
+        }
+    }
+}
+
+/// Topological ranks of all nodes, plus the condensation used to compute
+/// them.
+#[derive(Clone, Debug)]
+pub struct TopoRanks {
+    /// `rank[v]` is `r(v)`.
+    pub rank: Vec<u32>,
+    /// Largest rank present (0 for an empty graph).
+    pub max_rank: u32,
+}
+
+/// Computes the topological rank `r(v)` of every node of `g`.
+pub fn topological_ranks(g: &LabeledGraph, cond: &Condensation) -> TopoRanks {
+    let c = cond.component_count();
+    // Process components in topological order of the condensation *reversed*
+    // (sinks first), accumulating max(child rank) + 1.
+    let mut comp_rank = vec![0u32; c];
+    // Tarjan numbering: edges go from higher ids to lower ids, so iterating
+    // ids in increasing order visits children before parents.
+    for cu in 0..c as u32 {
+        let mut r = 0u32;
+        let mut has_child = false;
+        for &cw in cond.scc_out(cu) {
+            has_child = true;
+            r = r.max(comp_rank[cw as usize] + 1);
+        }
+        comp_rank[cu as usize] = if has_child { r } else { 0 };
+    }
+    let mut rank = vec![0u32; g.node_count()];
+    let mut max_rank = 0;
+    for v in g.nodes() {
+        let r = comp_rank[cond.component_of(v) as usize];
+        rank[v.index()] = r;
+        max_rank = max_rank.max(r);
+    }
+    TopoRanks { rank, max_rank }
+}
+
+/// Bisimulation ranks of all nodes plus the WF/NWF split.
+#[derive(Clone, Debug)]
+pub struct BisimRanks {
+    /// `rank[v]` is `rb(v)`.
+    pub rank: Vec<BisimRank>,
+    /// `well_founded[v]` is `true` iff `v` cannot reach any cycle.
+    pub well_founded: Vec<bool>,
+    /// Largest finite rank present.
+    pub max_finite_rank: u32,
+}
+
+impl BisimRanks {
+    /// Returns the distinct ranks present, sorted ascending with
+    /// `NegInfinity` first — the processing order of the rank-stratified
+    /// bisimulation algorithms.
+    pub fn distinct_ranks(&self) -> Vec<BisimRank> {
+        let mut ranks: Vec<BisimRank> = Vec::new();
+        let mut seen_neg = false;
+        let mut seen_finite = vec![false; self.max_finite_rank as usize + 1];
+        for &r in &self.rank {
+            match r {
+                BisimRank::NegInfinity => seen_neg = true,
+                BisimRank::Finite(k) => seen_finite[k as usize] = true,
+            }
+        }
+        if seen_neg {
+            ranks.push(BisimRank::NegInfinity);
+        }
+        for (k, &s) in seen_finite.iter().enumerate() {
+            if s {
+                ranks.push(BisimRank::Finite(k as u32));
+            }
+        }
+        ranks
+    }
+}
+
+/// Computes `rb(v)` and the WF/NWF split for every node of `g`.
+pub fn bisim_ranks(g: &LabeledGraph, cond: &Condensation) -> BisimRanks {
+    let c = cond.component_count();
+    let n = g.node_count();
+
+    // A component is "cyclic" if it contains a cycle.
+    let cyclic: Vec<bool> = (0..c as u32).map(|cu| cond.is_cyclic(cu, g)).collect();
+
+    // WF: nodes that cannot reach any cycle. Compute per component, children
+    // first (increasing Tarjan id).
+    let mut comp_wf = vec![true; c];
+    for cu in 0..c {
+        if cyclic[cu] {
+            comp_wf[cu] = false;
+            continue;
+        }
+        for &cw in cond.scc_out(cu as u32) {
+            if !comp_wf[cw as usize] {
+                comp_wf[cu] = false;
+                break;
+            }
+        }
+    }
+
+    // Ranks per component, children first.
+    let mut comp_rank = vec![BisimRank::Finite(0); c];
+    for cu in 0..c {
+        let outs = cond.scc_out(cu as u32);
+        let members_have_children = cond.members(cu as u32).iter().any(|&v| g.out_degree(v) > 0);
+        if !members_have_children {
+            // True leaf (also acyclic by construction).
+            comp_rank[cu] = BisimRank::Finite(0);
+            continue;
+        }
+        if outs.is_empty() {
+            // Has children in G (possibly inside its own cyclic SCC) but its
+            // SCC has no outgoing condensation edge: rank −∞.
+            comp_rank[cu] = BisimRank::NegInfinity;
+            continue;
+        }
+        let mut best = BisimRank::NegInfinity;
+        for &cw in outs {
+            let contrib = if comp_wf[cw as usize] {
+                comp_rank[cw as usize].succ()
+            } else {
+                comp_rank[cw as usize]
+            };
+            if contrib > best {
+                best = contrib;
+            }
+        }
+        // A cyclic component that only reaches −∞ components stays −∞; a
+        // cyclic component that reaches a finite-rank component takes that
+        // finite value (DPP rank definition).
+        comp_rank[cu] = best;
+    }
+
+    let mut rank = vec![BisimRank::Finite(0); n];
+    let mut well_founded = vec![false; n];
+    let mut max_finite_rank = 0;
+    for v in g.nodes() {
+        let cu = cond.component_of(v) as usize;
+        rank[v.index()] = comp_rank[cu];
+        well_founded[v.index()] = comp_wf[cu];
+        if let BisimRank::Finite(k) = comp_rank[cu] {
+            max_finite_rank = max_finite_rank.max(k);
+        }
+    }
+    BisimRanks {
+        rank,
+        well_founded,
+        max_finite_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks_of(g: &LabeledGraph) -> (TopoRanks, BisimRanks) {
+        let cond = Condensation::of(g);
+        (topological_ranks(g, &cond), bisim_ranks(g, &cond))
+    }
+
+    #[test]
+    fn path_graph_ranks() {
+        // 0 -> 1 -> 2 -> 3
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        for i in 0..3 {
+            g.add_edge(n[i], n[i + 1]);
+        }
+        let (t, b) = ranks_of(&g);
+        assert_eq!(t.rank, vec![3, 2, 1, 0]);
+        assert_eq!(t.max_rank, 3);
+        assert_eq!(
+            b.rank,
+            vec![
+                BisimRank::Finite(3),
+                BisimRank::Finite(2),
+                BisimRank::Finite(1),
+                BisimRank::Finite(0)
+            ]
+        );
+        assert!(b.well_founded.iter().all(|&w| w));
+        assert_eq!(b.max_finite_rank, 3);
+    }
+
+    #[test]
+    fn scc_members_share_topological_rank() {
+        // cycle {0,1,2} -> 3
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[0]);
+        g.add_edge(n[2], n[3]);
+        let (t, _) = ranks_of(&g);
+        assert_eq!(t.rank[n[0].index()], t.rank[n[1].index()]);
+        assert_eq!(t.rank[n[0].index()], t.rank[n[2].index()]);
+        assert_eq!(t.rank[n[3].index()], 0);
+        assert_eq!(t.rank[n[0].index()], 1);
+    }
+
+    #[test]
+    fn pure_cycle_has_neg_infinity_rank() {
+        // 0 <-> 1, both only see the cycle.
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..2).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[0]);
+        let (_, b) = ranks_of(&g);
+        assert_eq!(b.rank[0], BisimRank::NegInfinity);
+        assert_eq!(b.rank[1], BisimRank::NegInfinity);
+        assert!(!b.well_founded[0]);
+    }
+
+    #[test]
+    fn node_above_cycle_and_leaf() {
+        // 2 -> {0 <-> 1},  2 -> 3 (leaf)
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[0]);
+        g.add_edge(n[2], n[0]);
+        g.add_edge(n[2], n[3]);
+        let (_, b) = ranks_of(&g);
+        // Node 2 reaches a leaf (finite rank 0, WF) and a cycle (−∞, NWF):
+        // rb(2) = max(0 + 1, −∞) = 1.
+        assert_eq!(b.rank[n[2].index()], BisimRank::Finite(1));
+        assert!(!b.well_founded[n[2].index()]);
+        assert!(b.well_founded[n[3].index()]);
+        assert_eq!(b.rank[n[3].index()], BisimRank::Finite(0));
+    }
+
+    #[test]
+    fn self_loop_is_neg_infinity() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        g.add_edge(a, a);
+        let (_, b) = ranks_of(&g);
+        assert_eq!(b.rank[a.index()], BisimRank::NegInfinity);
+        assert!(!b.well_founded[a.index()]);
+    }
+
+    #[test]
+    fn isolated_node_rank_zero() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let (t, b) = ranks_of(&g);
+        assert_eq!(t.rank[a.index()], 0);
+        assert_eq!(b.rank[a.index()], BisimRank::Finite(0));
+        assert!(b.well_founded[a.index()]);
+    }
+
+    #[test]
+    fn bisim_rank_ordering() {
+        assert!(BisimRank::NegInfinity < BisimRank::Finite(0));
+        assert!(BisimRank::Finite(0) < BisimRank::Finite(5));
+        assert_eq!(BisimRank::NegInfinity.succ(), BisimRank::NegInfinity);
+        assert_eq!(BisimRank::Finite(2).succ(), BisimRank::Finite(3));
+    }
+
+    #[test]
+    fn distinct_ranks_sorted() {
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]); // rank 1 -> rank 0
+        g.add_edge(n[2], n[3]);
+        g.add_edge(n[3], n[2]); // −∞ cycle
+        let cond = Condensation::of(&g);
+        let b = bisim_ranks(&g, &cond);
+        let ranks = b.distinct_ranks();
+        assert_eq!(
+            ranks,
+            vec![
+                BisimRank::NegInfinity,
+                BisimRank::Finite(0),
+                BisimRank::Finite(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn lemma7_style_sanity_on_diamond() {
+        // Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3. Nodes 1 and 2 are
+        // reachability equivalent and must have equal topological rank.
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[0], n[2]);
+        g.add_edge(n[1], n[3]);
+        g.add_edge(n[2], n[3]);
+        let (t, b) = ranks_of(&g);
+        assert_eq!(t.rank[n[1].index()], t.rank[n[2].index()]);
+        assert_eq!(b.rank[n[1].index()], b.rank[n[2].index()]);
+    }
+}

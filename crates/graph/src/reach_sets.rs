@@ -1,0 +1,376 @@
+//! Ancestor / descendant set computation over DAGs.
+//!
+//! The reachability equivalence relation of Section 3 groups nodes with
+//! identical *proper* (non-empty-path) ancestor and descendant sets. Those
+//! sets are computed here over a DAG — in practice the SCC condensation of
+//! the data graph — as packed bit sets, in column *chunks* so that memory
+//! stays bounded (`O(n · chunk / 8)` bytes) no matter how large the DAG is.
+//! The same machinery drives the transitive reduction used by `compressR`
+//! and the AHO baseline.
+
+use std::ops::Range;
+
+use crate::bitset::FixedBitSet;
+use crate::error::{GraphError, Result};
+use crate::graph::LabeledGraph;
+use crate::scc::Condensation;
+
+/// Default number of bit-set columns processed per chunk.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// A DAG prepared for reachability-set sweeps: out/in adjacency plus a
+/// topological order.
+#[derive(Clone, Debug)]
+pub struct DagReach {
+    out: Vec<Vec<u32>>,
+    inn: Vec<Vec<u32>>,
+    /// Node indices in topological order (sources first).
+    topo: Vec<u32>,
+}
+
+impl DagReach {
+    /// Builds a `DagReach` from an explicit edge list over `n` nodes.
+    ///
+    /// Returns [`GraphError::NotADag`] if the edges contain a cycle
+    /// (self-loops included).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Result<Self> {
+        let mut out = vec![Vec::new(); n];
+        let mut inn = vec![Vec::new(); n];
+        for (u, v) in edges {
+            out[u as usize].push(v);
+            inn[v as usize].push(u);
+        }
+        let topo = kahn_topological_order(&out, &inn)?;
+        Ok(DagReach { out, inn, topo })
+    }
+
+    /// Builds a `DagReach` over the condensation DAG of a graph. Component
+    /// `i` of the condensation becomes node `i`.
+    pub fn from_condensation(cond: &Condensation) -> Self {
+        let n = cond.component_count();
+        let mut out = vec![Vec::new(); n];
+        let mut inn = vec![Vec::new(); n];
+        for cu in 0..n as u32 {
+            for &cw in cond.scc_out(cu) {
+                out[cu as usize].push(cw);
+                inn[cw as usize].push(cu);
+            }
+        }
+        // Tarjan ids are a reverse topological order; sources have the
+        // highest ids.
+        let topo: Vec<u32> = (0..n as u32).rev().collect();
+        DagReach { out, inn, topo }
+    }
+
+    /// Builds a `DagReach` from a graph that is assumed acyclic.
+    ///
+    /// Returns [`GraphError::NotADag`] if the graph has a cycle.
+    pub fn from_dag_graph(g: &LabeledGraph) -> Result<Self> {
+        Self::from_edges(
+            g.node_count(),
+            g.edges().map(|(u, v)| (u.0, v.0)),
+        )
+    }
+
+    /// Number of nodes of the DAG.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn out(&self, v: u32) -> &[u32] {
+        &self.out[v as usize]
+    }
+
+    /// In-neighbours of `v`.
+    pub fn inn(&self, v: u32) -> &[u32] {
+        &self.inn[v as usize]
+    }
+
+    /// The column ranges of a chunked sweep with the given chunk width.
+    pub fn chunks(&self, chunk: usize) -> Vec<Range<usize>> {
+        let n = self.node_count();
+        let chunk = chunk.max(1);
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// Computes, for every node `v`, the set of *column* nodes
+    /// (`cols.start ..cols.end`) that are proper descendants of `v`
+    /// (reachable via a non-empty path). Bit `j` of the result for `v`
+    /// corresponds to node `cols.start + j`.
+    pub fn descendants_chunk(&self, cols: Range<usize>) -> Vec<FixedBitSet> {
+        self.closure_chunk(cols, Direction::Forward)
+    }
+
+    /// Computes, for every node `v`, the set of column nodes that are proper
+    /// ancestors of `v`.
+    pub fn ancestors_chunk(&self, cols: Range<usize>) -> Vec<FixedBitSet> {
+        self.closure_chunk(cols, Direction::Backward)
+    }
+
+    /// Full proper-descendant sets (one chunk covering every column). Only
+    /// suitable for small DAGs; the chunked API should be preferred.
+    pub fn full_descendants(&self) -> Vec<FixedBitSet> {
+        self.descendants_chunk(0..self.node_count())
+    }
+
+    /// Full proper-ancestor sets.
+    pub fn full_ancestors(&self) -> Vec<FixedBitSet> {
+        self.ancestors_chunk(0..self.node_count())
+    }
+
+    fn closure_chunk(&self, cols: Range<usize>, dir: Direction) -> Vec<FixedBitSet> {
+        let n = self.node_count();
+        let width = cols.len();
+        let mut sets = vec![FixedBitSet::with_capacity(width); n];
+        // Forward closure: process nodes children-first (reverse topological
+        // order); backward closure: parents-first (topological order).
+        let order: Box<dyn Iterator<Item = u32> + '_> = match dir {
+            Direction::Forward => Box::new(self.topo.iter().rev().copied()),
+            Direction::Backward => Box::new(self.topo.iter().copied()),
+        };
+        for v in order {
+            // Split borrows: take v's set out, fold neighbours in, put back.
+            let mut acc = std::mem::replace(
+                &mut sets[v as usize],
+                FixedBitSet::with_capacity(0),
+            );
+            let neighbors = match dir {
+                Direction::Forward => &self.out[v as usize],
+                Direction::Backward => &self.inn[v as usize],
+            };
+            for &w in neighbors {
+                acc.union_with(&sets[w as usize]);
+                let wi = w as usize;
+                if wi >= cols.start && wi < cols.end {
+                    acc.insert(wi - cols.start);
+                }
+            }
+            sets[v as usize] = acc;
+        }
+        sets
+    }
+
+    /// Answers "does `u` reach `v` via a non-empty path" by a bounded DFS on
+    /// the DAG (used by tests and by the transitive-reduction fallback).
+    pub fn reaches(&self, u: u32, v: u32) -> bool {
+        let mut visited = vec![false; self.node_count()];
+        let mut stack: Vec<u32> = self.out[u as usize].to_vec();
+        while let Some(x) = stack.pop() {
+            if x == v {
+                return true;
+            }
+            if !visited[x as usize] {
+                visited[x as usize] = true;
+                stack.extend_from_slice(&self.out[x as usize]);
+            }
+        }
+        false
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Kahn topological sort; fails with [`GraphError::NotADag`] on cycles.
+fn kahn_topological_order(out: &[Vec<u32>], inn: &[Vec<u32>]) -> Result<Vec<u32>> {
+    let n = out.len();
+    let mut indeg: Vec<usize> = inn.iter().map(Vec::len).collect();
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &w in &out[v as usize] {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(GraphError::NotADag)
+    }
+}
+
+/// Node-level proper ancestor/descendant sets of an arbitrary (possibly
+/// cyclic) graph, computed through its condensation.
+///
+/// This is a convenience for tests and small graphs: it returns, for every
+/// node, bit sets over *node* ids (not SCC ids). `descendants[v]` contains
+/// `w` iff there is a non-empty path from `v` to `w`.
+pub fn node_closures(g: &LabeledGraph) -> (Vec<FixedBitSet>, Vec<FixedBitSet>) {
+    let n = g.node_count();
+    let cond = Condensation::of(g);
+    let dag = DagReach::from_condensation(&cond);
+    let scc_desc = dag.full_descendants();
+    let scc_anc = dag.full_ancestors();
+
+    let mut desc = vec![FixedBitSet::with_capacity(n); n];
+    let mut anc = vec![FixedBitSet::with_capacity(n); n];
+    for v in g.nodes() {
+        let c = cond.component_of(v);
+        let cyclic = cond.is_cyclic(c, g);
+        // Descendants: members of every SCC-descendant, plus own SCC members
+        // when the SCC is cyclic.
+        for cd in scc_desc[c as usize].ones() {
+            for &w in cond.members(cd as u32) {
+                desc[v.index()].insert(w.index());
+            }
+        }
+        for ca in scc_anc[c as usize].ones() {
+            for &w in cond.members(ca as u32) {
+                anc[v.index()].insert(w.index());
+            }
+        }
+        if cyclic {
+            for &w in cond.members(c) {
+                desc[v.index()].insert(w.index());
+                anc[v.index()].insert(w.index());
+            }
+        }
+    }
+    (desc, anc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    fn diamond_dag() -> DagReach {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DagReach::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn full_descendants_diamond() {
+        let d = diamond_dag();
+        let desc = d.full_descendants();
+        assert_eq!(desc[0].ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(desc[1].ones().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(desc[3].ones().count(), 0);
+        let anc = d.full_ancestors();
+        assert_eq!(anc[3].ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(anc[0].ones().count(), 0);
+    }
+
+    #[test]
+    fn chunked_equals_full() {
+        let d = diamond_dag();
+        let full = d.full_descendants();
+        for chunk in d.chunks(2) {
+            let part = d.descendants_chunk(chunk.clone());
+            for v in 0..4usize {
+                for j in 0..chunk.len() {
+                    assert_eq!(
+                        part[v].contains(j),
+                        full[v].contains(chunk.start + j),
+                        "mismatch v={v} col={}",
+                        chunk.start + j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = DagReach::from_edges(2, vec![(0, 1), (1, 0)]);
+        assert!(matches!(err, Err(GraphError::NotADag)));
+        let err = DagReach::from_edges(1, vec![(0, 0)]);
+        assert!(matches!(err, Err(GraphError::NotADag)));
+    }
+
+    #[test]
+    fn from_condensation_reaches() {
+        // cycle {0,1} -> 2 -> 3
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[0]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[3]);
+        let cond = Condensation::of(&g);
+        let dag = DagReach::from_condensation(&cond);
+        assert_eq!(dag.node_count(), 3);
+        let c01 = cond.component_of(n[0]);
+        let c3 = cond.component_of(n[3]);
+        assert!(dag.reaches(c01, c3));
+        assert!(!dag.reaches(c3, c01));
+    }
+
+    #[test]
+    fn node_closures_match_traversal() {
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[0]); // cycle 0-1-2
+        g.add_edge(n[2], n[3]);
+        g.add_edge(n[4], n[3]);
+        // n[5] isolated
+        let (desc, anc) = node_closures(&g);
+        for &u in &n {
+            let via_bfs: Vec<usize> = traversal::descendants(&g, u)
+                .into_iter()
+                .map(|x| x.index())
+                .collect();
+            let mut via_sets: Vec<usize> = desc[u.index()].ones().collect();
+            via_sets.sort();
+            let mut expected = via_bfs.clone();
+            expected.sort();
+            assert_eq!(via_sets, expected, "descendants of {u}");
+
+            let via_bfs_a: Vec<usize> = traversal::ancestors(&g, u)
+                .into_iter()
+                .map(|x| x.index())
+                .collect();
+            let mut via_sets_a: Vec<usize> = anc[u.index()].ones().collect();
+            via_sets_a.sort();
+            let mut expected_a = via_bfs_a.clone();
+            expected_a.sort();
+            assert_eq!(via_sets_a, expected_a, "ancestors of {u}");
+        }
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        let d = DagReach::from_edges(10, vec![(0, 1)]).unwrap();
+        let chunks = d.chunks(3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0], 0..3);
+        assert_eq!(chunks[3], 9..10);
+        assert!(d.chunks(100).len() == 1);
+        assert!(DagReach::from_edges(0, vec![]).unwrap().chunks(5).is_empty());
+    }
+
+    #[test]
+    fn dag_from_graph() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        g.add_edge(a, b);
+        assert!(DagReach::from_dag_graph(&g).is_ok());
+        g.add_edge(b, a);
+        assert!(DagReach::from_dag_graph(&g).is_err());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = DagReach::from_edges(0, vec![]).unwrap();
+        assert_eq!(d.node_count(), 0);
+        assert!(d.full_descendants().is_empty());
+    }
+}

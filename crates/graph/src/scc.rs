@@ -1,0 +1,344 @@
+//! Strongly connected components and the condensation graph `Gscc`.
+//!
+//! The paper uses the SCC graph in two places: as a pre-pass that shrinks
+//! the input of `compressR` without losing reachability (Section 3.2,
+//! "Optimizations", and the `RCscc` column of Table 1), and as the basis of
+//! the topological / bisimulation rank functions that drive the incremental
+//! algorithms (Section 5). We implement Tarjan's algorithm iteratively so
+//! deep graphs cannot overflow the call stack.
+
+use crate::graph::LabeledGraph;
+use crate::ids::NodeId;
+
+/// The result of an SCC decomposition: a mapping from nodes to component
+/// ids plus the condensation DAG.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `component[v]` is the SCC id of node `v`. Component ids are dense,
+    /// `0..component_count`, and are numbered in *reverse topological
+    /// order of completion* (Tarjan property: every edge of the condensation
+    /// goes from a higher id to a lower id... see [`Condensation::is_topological`]).
+    component: Vec<u32>,
+    /// Members of each component.
+    members: Vec<Vec<NodeId>>,
+    /// Out-adjacency of the condensation DAG (no duplicate edges, no self
+    /// loops).
+    scc_out: Vec<Vec<u32>>,
+    /// In-adjacency of the condensation DAG.
+    scc_in: Vec<Vec<u32>>,
+    /// Number of edges in the condensation DAG.
+    scc_edges: usize,
+}
+
+impl Condensation {
+    /// Computes the SCC decomposition of `g` with an iterative Tarjan.
+    pub fn of(g: &LabeledGraph) -> Self {
+        let n = g.node_count();
+        let mut index = vec![u32::MAX; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut component = vec![u32::MAX; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_count = 0u32;
+
+        // Explicit DFS state: (node, next child position).
+        let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+
+        for root in g.nodes() {
+            if index[root.index()] != u32::MAX {
+                continue;
+            }
+            call_stack.push((root, 0));
+            index[root.index()] = next_index;
+            lowlink[root.index()] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root.index()] = true;
+
+            while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+                let children = g.out_neighbors(v);
+                if *child_pos < children.len() {
+                    let w = children[*child_pos];
+                    *child_pos += 1;
+                    if index[w.index()] == u32::MAX {
+                        // Tree edge: descend.
+                        index[w.index()] = next_index;
+                        lowlink[w.index()] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w.index()] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w.index()] {
+                        lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                    }
+                } else {
+                    // Done with v: pop and propagate lowlink to parent.
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        lowlink[parent.index()] =
+                            lowlink[parent.index()].min(lowlink[v.index()]);
+                    }
+                    if lowlink[v.index()] == index[v.index()] {
+                        // v is the root of an SCC.
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w.index()] = false;
+                            component[w.index()] = comp_count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                }
+            }
+        }
+
+        // Build the condensation adjacency (deduplicated).
+        let c = comp_count as usize;
+        let mut members = vec![Vec::new(); c];
+        for v in g.nodes() {
+            members[component[v.index()] as usize].push(v);
+        }
+        let mut scc_out = vec![Vec::new(); c];
+        let mut scc_in = vec![Vec::new(); c];
+        let mut seen = vec![u32::MAX; c];
+        let mut scc_edges = 0usize;
+        for (cu, member_list) in members.iter().enumerate() {
+            for &u in member_list {
+                for &w in g.out_neighbors(u) {
+                    let cw = component[w.index()] as usize;
+                    if cw != cu && seen[cw] != cu as u32 {
+                        seen[cw] = cu as u32;
+                        scc_out[cu].push(cw as u32);
+                        scc_in[cw].push(cu as u32);
+                        scc_edges += 1;
+                    }
+                }
+            }
+        }
+
+        Condensation {
+            component,
+            members,
+            scc_out,
+            scc_in,
+            scc_edges,
+        }
+    }
+
+    /// Number of strongly connected components.
+    pub fn component_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of edges of the condensation DAG.
+    pub fn edge_count(&self) -> usize {
+        self.scc_edges
+    }
+
+    /// The paper's `|Gscc|` size measure: components plus condensation edges.
+    pub fn size(&self) -> usize {
+        self.component_count() + self.edge_count()
+    }
+
+    /// SCC id of node `v`.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.component[v.index()]
+    }
+
+    /// Members of component `c`.
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        &self.members[c as usize]
+    }
+
+    /// Out-neighbours of component `c` in the condensation DAG.
+    pub fn scc_out(&self, c: u32) -> &[u32] {
+        &self.scc_out[c as usize]
+    }
+
+    /// In-neighbours of component `c` in the condensation DAG.
+    pub fn scc_in(&self, c: u32) -> &[u32] {
+        &self.scc_in[c as usize]
+    }
+
+    /// `true` when component `c` contains a cycle (more than one member, or
+    /// a single member with a self loop in `g`).
+    pub fn is_cyclic(&self, c: u32, g: &LabeledGraph) -> bool {
+        let m = self.members(c);
+        m.len() > 1 || (m.len() == 1 && g.has_edge(m[0], m[0]))
+    }
+
+    /// Returns the component ids in topological order (sources first).
+    ///
+    /// Tarjan emits components in reverse topological order, so ids
+    /// `comp_count-1, …, 0` are already a topological order of the
+    /// condensation; this helper materializes it for callers that iterate.
+    pub fn topological_order(&self) -> Vec<u32> {
+        (0..self.component_count() as u32).rev().collect()
+    }
+
+    /// Checks the Tarjan numbering invariant used by `topological_order`:
+    /// every condensation edge goes from a higher component id to a lower
+    /// one.
+    pub fn is_topological(&self) -> bool {
+        self.scc_out
+            .iter()
+            .enumerate()
+            .all(|(cu, outs)| outs.iter().all(|&cw| (cw as usize) < cu))
+    }
+
+    /// Builds the condensation as a standalone [`LabeledGraph`] whose node
+    /// `i` is component `i`; all nodes share one label. This is the graph
+    /// `Gscc` that the AHO baseline and the `RCscc` measurements operate on.
+    pub fn to_graph(&self) -> LabeledGraph {
+        let mut g = LabeledGraph::with_capacity(self.component_count());
+        for _ in 0..self.component_count() {
+            g.add_node_with_label("scc");
+        }
+        for (cu, outs) in self.scc_out.iter().enumerate() {
+            for &cw in outs {
+                g.add_edge(NodeId::new(cu), NodeId::new(cw as usize));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 3-cycles connected by a bridge, plus a tail node.
+    ///   c0: {0,1,2}  c1: {3,4,5}   2 -> 3,  5 -> 6
+    fn two_cycles() -> (LabeledGraph, Vec<NodeId>) {
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..7).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[0]);
+        g.add_edge(n[3], n[4]);
+        g.add_edge(n[4], n[5]);
+        g.add_edge(n[5], n[3]);
+        g.add_edge(n[2], n[3]);
+        g.add_edge(n[5], n[6]);
+        (g, n)
+    }
+
+    #[test]
+    fn finds_components() {
+        let (g, n) = two_cycles();
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 3);
+        assert_eq!(c.component_of(n[0]), c.component_of(n[1]));
+        assert_eq!(c.component_of(n[0]), c.component_of(n[2]));
+        assert_eq!(c.component_of(n[3]), c.component_of(n[5]));
+        assert_ne!(c.component_of(n[0]), c.component_of(n[3]));
+        assert_ne!(c.component_of(n[3]), c.component_of(n[6]));
+        assert_eq!(c.edge_count(), 2);
+        assert_eq!(c.size(), 5);
+    }
+
+    #[test]
+    fn condensation_is_topologically_numbered() {
+        let (g, _) = two_cycles();
+        let c = Condensation::of(&g);
+        assert!(c.is_topological());
+        let order = c.topological_order();
+        assert_eq!(order.len(), 3);
+        // Sources first: the component of node 0 must appear before that of node 6.
+    }
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node_with_label("X")).collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[i + 1]);
+        }
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 5);
+        assert!(c.is_topological());
+        for comp in 0..5u32 {
+            assert_eq!(c.members(comp).len(), 1);
+            assert!(!c.is_cyclic(comp, &g));
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_singleton() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        g.add_edge(a, a);
+        g.add_edge(a, b);
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 2);
+        assert!(c.is_cyclic(c.component_of(a), &g));
+        assert!(!c.is_cyclic(c.component_of(b), &g));
+    }
+
+    #[test]
+    fn single_big_cycle() {
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..100).map(|_| g.add_node_with_label("X")).collect();
+        for i in 0..100 {
+            g.add_edge(n[i], n[(i + 1) % 100]);
+        }
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 1);
+        assert_eq!(c.members(0).len(), 100);
+        assert_eq!(c.edge_count(), 0);
+    }
+
+    #[test]
+    fn to_graph_matches_condensation() {
+        let (g, _) = two_cycles();
+        let c = Condensation::of(&g);
+        let gc = c.to_graph();
+        assert_eq!(gc.node_count(), c.component_count());
+        assert_eq!(gc.edge_count(), c.edge_count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabeledGraph::new();
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert!(c.is_topological());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 200k-node path exercises the iterative DFS.
+        let mut g = LabeledGraph::with_capacity(200_000);
+        let n: Vec<_> = (0..200_000).map(|_| g.add_node_with_label("X")).collect();
+        for i in 0..n.len() - 1 {
+            g.add_edge(n[i], n[i + 1]);
+        }
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 200_000);
+    }
+
+    #[test]
+    fn condensation_edges_are_deduplicated() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        let c1 = g.add_node_with_label("C");
+        let c2 = g.add_node_with_label("C");
+        // SCC {c1, c2}; two parallel edges from a's SCC and b's SCC into it.
+        g.add_edge(c1, c2);
+        g.add_edge(c2, c1);
+        g.add_edge(a, c1);
+        g.add_edge(a, c2);
+        g.add_edge(b, c1);
+        let c = Condensation::of(&g);
+        assert_eq!(c.component_count(), 3);
+        // a -> {c1,c2} must appear once despite two underlying edges.
+        assert_eq!(c.edge_count(), 2);
+    }
+}

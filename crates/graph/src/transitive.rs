@@ -1,0 +1,201 @@
+//! Transitive closure queries and the unique transitive reduction of a DAG.
+//!
+//! `compressR` (Section 3.2, lines 6–8 of Fig. 5) avoids inserting edges
+//! between equivalence classes that are already implied by other edges; on
+//! the quotient DAG this is exactly the transitive reduction, which for DAGs
+//! is unique (Aho, Garey & Ullman 1972). The same routine, applied to the
+//! SCC condensation, is the core of the paper's `AHO` baseline.
+
+use crate::bitset::FixedBitSet;
+use crate::error::Result;
+use crate::graph::LabeledGraph;
+use crate::ids::NodeId;
+use crate::reach_sets::{DagReach, DEFAULT_CHUNK};
+
+/// Computes the unique transitive reduction of a DAG, returned as the list
+/// of retained edges.
+///
+/// An edge `(u, v)` is removed iff there is another path from `u` to `v` of
+/// length ≥ 2. The computation sweeps descendant bit sets in chunks so the
+/// memory stays `O(n · chunk / 8)`.
+///
+/// Returns an error if the input is not acyclic.
+pub fn transitive_reduction(g: &LabeledGraph) -> Result<Vec<(NodeId, NodeId)>> {
+    transitive_reduction_with_chunk(g, DEFAULT_CHUNK)
+}
+
+/// [`transitive_reduction`] with an explicit chunk width (exposed for tests
+/// and for the ablation benchmark).
+pub fn transitive_reduction_with_chunk(
+    g: &LabeledGraph,
+    chunk: usize,
+) -> Result<Vec<(NodeId, NodeId)>> {
+    let dag = DagReach::from_dag_graph(g)?;
+    let n = dag.node_count();
+    let mut keep: Vec<(NodeId, NodeId)> = Vec::new();
+
+    for cols in dag.chunks(chunk) {
+        let desc = dag.descendants_chunk(cols.clone());
+        for u in 0..n as u32 {
+            for &v in dag.out(u) {
+                let vi = v as usize;
+                if vi < cols.start || vi >= cols.end {
+                    continue; // edge target handled by another chunk
+                }
+                // (u, v) is redundant iff some *other* child w of u reaches v.
+                let redundant = dag.out(u).iter().any(|&w| {
+                    w != v && desc[w as usize].contains(vi - cols.start)
+                });
+                if !redundant {
+                    keep.push((NodeId(u), NodeId(v)));
+                }
+            }
+        }
+    }
+    Ok(keep)
+}
+
+/// Builds a new graph containing the same nodes (and labels) as `g` but only
+/// the transitively-reduced edge set.
+pub fn transitive_reduction_graph(g: &LabeledGraph) -> Result<LabeledGraph> {
+    let kept = transitive_reduction(g)?;
+    let mut out = LabeledGraph::with_capacity(g.node_count());
+    for v in g.nodes() {
+        out.add_node(g.label(v));
+    }
+    for (u, v) in kept {
+        out.add_edge(u, v);
+    }
+    Ok(out)
+}
+
+/// Full transitive closure of a DAG as per-node descendant bit sets
+/// (proper descendants, i.e. via non-empty paths). Convenience wrapper used
+/// by tests and by the 2-hop index verification; quadratic memory, so only
+/// for modest graphs.
+pub fn transitive_closure(g: &LabeledGraph) -> Result<Vec<FixedBitSet>> {
+    let dag = DagReach::from_dag_graph(g)?;
+    Ok(dag.full_descendants())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    fn graph_from_edges(n: usize, edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node_with_label("X");
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    #[test]
+    fn removes_shortcut_edges() {
+        // 0 -> 1 -> 2 plus shortcut 0 -> 2.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let kept = transitive_reduction(&g).unwrap();
+        assert_eq!(kept.len(), 2);
+        assert!(!kept.contains(&(NodeId(0), NodeId(2))));
+    }
+
+    #[test]
+    fn keeps_diamond_edges() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let kept = transitive_reduction(&g).unwrap();
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn reduction_preserves_reachability() {
+        // A random-ish DAG; reduction must preserve the reachability relation.
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 5),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 5),
+            (4, 5),
+            (1, 5),
+            (0, 3),
+        ];
+        let g = graph_from_edges(6, &edges);
+        let r = transitive_reduction_graph(&g).unwrap();
+        assert!(r.edge_count() < g.edge_count());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    traversal::reachable(&g, u, v),
+                    traversal::reachable(&r, u, v),
+                    "reachability changed for {u}->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_reduction_matches_unchunked() {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 5),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 5),
+            (4, 5),
+            (1, 5),
+            (0, 3),
+            (6, 0),
+            (6, 5),
+            (7, 6),
+            (7, 1),
+        ];
+        let g = graph_from_edges(8, &edges);
+        let mut full = transitive_reduction_with_chunk(&g, 1024).unwrap();
+        let mut tiny = transitive_reduction_with_chunk(&g, 2).unwrap();
+        full.sort();
+        tiny.sort();
+        assert_eq!(full, tiny);
+    }
+
+    #[test]
+    fn cyclic_graph_is_rejected() {
+        let g = graph_from_edges(2, &[(0, 1), (1, 0)]);
+        assert!(transitive_reduction(&g).is_err());
+        assert!(transitive_closure(&g).is_err());
+    }
+
+    #[test]
+    fn closure_matches_traversal() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (3, 2), (0, 4)]);
+        let tc = transitive_closure(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let expected = u != v && traversal::reachable(&g, u, v);
+                assert_eq!(tc[u.index()].contains(v.index()), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = LabeledGraph::new();
+        assert!(transitive_reduction(&g).unwrap().is_empty());
+        let g = graph_from_edges(3, &[]);
+        assert!(transitive_reduction(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn long_chain_is_untouched() {
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(100, &edges);
+        assert_eq!(transitive_reduction(&g).unwrap().len(), 99);
+    }
+}

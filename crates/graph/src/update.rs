@@ -1,0 +1,249 @@
+//! Edge update representation (`ΔG` in the paper).
+//!
+//! Section 5 studies batch updates: a list of edge insertions and deletions
+//! applied to the data graph. [`UpdateBatch`] is that list; it also knows how
+//! to apply itself to a [`LabeledGraph`] and how to *normalize* itself
+//! (dropping updates that are no-ops against a given graph, and cancelling
+//! an insertion immediately followed by a deletion of the same edge), which
+//! keeps the incremental algorithms' affected areas honest.
+
+use crate::graph::LabeledGraph;
+use crate::ids::NodeId;
+
+/// A single edge update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Insert the edge `(from, to)`.
+    Insert(NodeId, NodeId),
+    /// Delete the edge `(from, to)`.
+    Delete(NodeId, NodeId),
+}
+
+impl Update {
+    /// The edge affected by this update.
+    pub fn edge(&self) -> (NodeId, NodeId) {
+        match *self {
+            Update::Insert(u, v) | Update::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// `true` for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_, _))
+    }
+}
+
+/// An ordered list of edge updates (`ΔG`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch from a list of updates.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        UpdateBatch { updates }
+    }
+
+    /// Appends an insertion.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.updates.push(Update::Insert(u, v));
+        self
+    }
+
+    /// Appends a deletion.
+    pub fn delete(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.updates.push(Update::Delete(u, v));
+        self
+    }
+
+    /// The updates, in application order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Number of updates (`|ΔG|`).
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` when the batch contains no update.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Applies the batch to `g` in order (`G ⊕ ΔG`). Inserting an existing
+    /// edge or deleting a missing edge is a silent no-op, mirroring the
+    /// paper's set semantics for `E`.
+    pub fn apply_to(&self, g: &mut LabeledGraph) {
+        for u in &self.updates {
+            match *u {
+                Update::Insert(a, b) => {
+                    g.add_edge(a, b);
+                }
+                Update::Delete(a, b) => {
+                    g.remove_edge(a, b);
+                }
+            }
+        }
+    }
+
+    /// Returns a normalized copy of the batch with respect to the *current*
+    /// graph `g`:
+    ///
+    /// * insertions of edges already in `g` are dropped;
+    /// * deletions of edges not in `g` are dropped;
+    /// * for each edge, only the *net effect* of the batch is kept (an
+    ///   insert followed by a delete of the same edge cancels out, and vice
+    ///   versa).
+    ///
+    /// The result applied to `g` yields the same graph as the original
+    /// batch, but every remaining update really changes the edge set.
+    pub fn normalized(&self, g: &LabeledGraph) -> UpdateBatch {
+        use std::collections::HashMap;
+        // Net desired state per touched edge: true = present, false = absent.
+        let mut desired: HashMap<(NodeId, NodeId), bool> = HashMap::new();
+        let mut order: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in &self.updates {
+            let e = u.edge();
+            if !desired.contains_key(&e) {
+                order.push(e);
+            }
+            desired.insert(e, u.is_insert());
+        }
+        let mut out = UpdateBatch::new();
+        for e in order {
+            let want = desired[&e];
+            let have = g.has_edge(e.0, e.1);
+            if want && !have {
+                out.insert(e.0, e.1);
+            } else if !want && have {
+                out.delete(e.0, e.1);
+            }
+        }
+        out
+    }
+
+    /// Splits the batch into (insertions, deletions) preserving order within
+    /// each kind.
+    pub fn split(&self) -> (Vec<(NodeId, NodeId)>, Vec<(NodeId, NodeId)>) {
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        for u in &self.updates {
+            match *u {
+                Update::Insert(a, b) => ins.push((a, b)),
+                Update::Delete(a, b) => del.push((a, b)),
+            }
+        }
+        (ins, del)
+    }
+}
+
+impl FromIterator<Update> for UpdateBatch {
+    fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
+        UpdateBatch {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> (LabeledGraph, Vec<NodeId>) {
+        let mut g = LabeledGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node_with_label("X")).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        (g, n)
+    }
+
+    #[test]
+    fn apply_inserts_and_deletes() {
+        let (mut g, n) = sample_graph();
+        let mut b = UpdateBatch::new();
+        b.insert(n[2], n[3]).delete(n[0], n[1]);
+        assert_eq!(b.len(), 2);
+        b.apply_to(&mut g);
+        assert!(g.has_edge(n[2], n[3]));
+        assert!(!g.has_edge(n[0], n[1]));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn apply_is_idempotent_on_noops() {
+        let (mut g, n) = sample_graph();
+        let mut b = UpdateBatch::new();
+        b.insert(n[0], n[1]); // already present
+        b.delete(n[3], n[0]); // not present
+        b.apply_to(&mut g);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn normalized_drops_noops_and_cancels() {
+        let (g, n) = sample_graph();
+        let mut b = UpdateBatch::new();
+        b.insert(n[0], n[1]); // already present → dropped
+        b.delete(n[3], n[2]); // absent → dropped
+        b.insert(n[2], n[3]); // net: insert then delete → cancelled
+        b.delete(n[2], n[3]);
+        b.delete(n[1], n[2]); // real deletion kept
+        b.insert(n[0], n[2]); // real insertion kept
+        let norm = b.normalized(&g);
+        assert_eq!(norm.len(), 2);
+        assert_eq!(
+            norm.updates(),
+            &[Update::Delete(n[1], n[2]), Update::Insert(n[0], n[2])]
+        );
+
+        // Same end state either way.
+        let mut g1 = g.clone();
+        b.apply_to(&mut g1);
+        let mut g2 = g.clone();
+        norm.apply_to(&mut g2);
+        let mut e1: Vec<_> = g1.edges().collect();
+        let mut e2: Vec<_> = g2.edges().collect();
+        e1.sort();
+        e2.sort();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn net_effect_keeps_last_write() {
+        let (g, n) = sample_graph();
+        let mut b = UpdateBatch::new();
+        // delete then re-insert an existing edge: net effect is "present",
+        // edge already present → nothing to do.
+        b.delete(n[0], n[1]);
+        b.insert(n[0], n[1]);
+        let norm = b.normalized(&g);
+        assert!(norm.is_empty());
+    }
+
+    #[test]
+    fn split_by_kind() {
+        let (_, n) = sample_graph();
+        let mut b = UpdateBatch::new();
+        b.insert(n[0], n[2]).delete(n[1], n[2]).insert(n[3], n[0]);
+        let (ins, del) = b.split();
+        assert_eq!(ins, vec![(n[0], n[2]), (n[3], n[0])]);
+        assert_eq!(del, vec![(n[1], n[2])]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: UpdateBatch = vec![Update::Insert(NodeId(0), NodeId(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(b.len(), 1);
+        assert!(b.updates()[0].is_insert());
+        assert_eq!(b.updates()[0].edge(), (NodeId(0), NodeId(1)));
+    }
+}

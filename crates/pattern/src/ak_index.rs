@@ -1,0 +1,240 @@
+//! The A(k)-index: parameterized (k-bounded) bisimulation.
+//!
+//! The A(k)-index of Kaushik et al. (ICDE 2002) groups nodes that are
+//! *k-bisimilar*: indistinguishable by downward traversals of length at most
+//! `k`. The paper uses it (Sections 3.1 and 4.1) as a foil: the index graph
+//! built from k-bisimulation does **not** preserve reachability queries nor
+//! pattern queries in general, whereas full bisimulation does. We implement
+//! it so that the non-preservation claims can be demonstrated by tests and
+//! examples, and to serve as an ablation point ("what if we stop refining
+//! after k rounds?").
+
+use std::collections::HashMap;
+
+use qpgc_graph::{LabeledGraph, NodeId};
+
+use crate::bisim::BisimPartition;
+use crate::compress::build_quotient_graph;
+
+/// Computes the k-bisimulation partition: the result of `k` rounds of
+/// signature refinement starting from the label partition.
+///
+/// `k = 0` groups purely by label; as `k → ∞` the partition converges to the
+/// full bisimulation.
+pub fn k_bisimulation_partition(g: &LabeledGraph, k: usize) -> BisimPartition {
+    let n = g.node_count();
+    let mut block: Vec<u32> = vec![0; n];
+    {
+        let mut key_to_block: HashMap<qpgc_graph::Label, u32> = HashMap::new();
+        for v in g.nodes() {
+            let next = key_to_block.len() as u32;
+            let id = *key_to_block.entry(g.label(v)).or_insert(next);
+            block[v.index()] = id;
+        }
+    }
+    for _ in 0..k {
+        let mut key_to_block: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut new_block = vec![0u32; n];
+        for v in g.nodes() {
+            let mut succ: Vec<u32> = g
+                .out_neighbors(v)
+                .iter()
+                .map(|&w| block[w.index()])
+                .collect();
+            succ.sort_unstable();
+            succ.dedup();
+            let key = (block[v.index()], succ);
+            let next = key_to_block.len() as u32;
+            let id = *key_to_block.entry(key).or_insert(next);
+            new_block[v.index()] = id;
+        }
+        let stable = key_to_block.len() == count_distinct(&block);
+        block = new_block;
+        if stable {
+            break;
+        }
+    }
+
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut class_of = vec![0u32; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut labels = Vec::new();
+    for v in g.nodes() {
+        let id = *remap.entry(block[v.index()]).or_insert_with(|| {
+            members.push(Vec::new());
+            labels.push(g.label(v));
+            (members.len() - 1) as u32
+        });
+        class_of[v.index()] = id;
+        members[id as usize].push(v);
+    }
+    BisimPartition {
+        class_of,
+        members,
+        labels,
+    }
+}
+
+fn count_distinct(block: &[u32]) -> usize {
+    let mut seen = vec![false; block.len().max(1)];
+    let mut count = 0;
+    for &b in block {
+        let b = b as usize;
+        if b >= seen.len() {
+            seen.resize(b + 1, false);
+        }
+        if !seen[b] {
+            seen[b] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The A(k)-index: the index graph (quotient of the k-bisimulation) plus its
+/// partition.
+#[derive(Clone, Debug)]
+pub struct AkIndex {
+    /// The index graph (quotient under k-bisimulation).
+    pub graph: LabeledGraph,
+    /// The k-bisimulation partition.
+    pub partition: BisimPartition,
+    /// The `k` the index was built with.
+    pub k: usize,
+}
+
+/// Builds the A(k)-index of `g`.
+pub fn ak_index(g: &LabeledGraph, k: usize) -> AkIndex {
+    let partition = k_bisimulation_partition(g, k);
+    let graph = build_quotient_graph(g, &partition);
+    AkIndex {
+        graph,
+        partition,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisim::bisimulation_partition;
+    use crate::bounded::bounded_match;
+    use crate::compress::compress_b;
+    use crate::pattern::Pattern;
+
+    fn graph(labels: &[&str], edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for l in labels {
+            g.add_node_with_label(l);
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    /// The Section 4.1 counterexample shape (Fig. 6, G1 in spirit): A nodes
+    /// that are 1-bisimilar (they all only have B children) but whose B
+    /// children lead to different labels one level further down.
+    fn counterexample() -> LabeledGraph {
+        graph(
+            &["A", "A", "A", "B", "B", "B", "B", "C", "D"],
+            &[
+                (0, 3),
+                (3, 7), // A1 -> B1 -> C
+                (1, 4),
+                (4, 7), // A2 -> B2 -> C
+                (1, 5),
+                (5, 8), // A2 -> B3 -> D
+                (2, 6),
+                (6, 8), // A3 -> B4 -> D
+            ],
+        )
+    }
+
+    #[test]
+    fn k0_groups_by_label() {
+        let g = counterexample();
+        let p = k_bisimulation_partition(&g, 0);
+        assert_eq!(p.class_count(), 4); // A, B, C, D
+    }
+
+    #[test]
+    fn k1_merges_all_a_nodes() {
+        // With k = 1 all A nodes look alike (they all have only B children),
+        // even though they are not fully bisimilar.
+        let g = counterexample();
+        let p = k_bisimulation_partition(&g, 1);
+        assert!(p.bisimilar(NodeId(0), NodeId(1)));
+        assert!(p.bisimilar(NodeId(0), NodeId(2)));
+        let full = bisimulation_partition(&g);
+        assert!(!full.bisimilar(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn large_k_converges_to_full_bisimulation() {
+        let g = counterexample();
+        let pk = k_bisimulation_partition(&g, 10);
+        let full = bisimulation_partition(&g);
+        assert_eq!(pk.canonical(), full.canonical());
+    }
+
+    #[test]
+    fn refinement_is_monotone_in_k() {
+        let g = counterexample();
+        let mut last = 0;
+        for k in 0..5 {
+            let classes = k_bisimulation_partition(&g, k).class_count();
+            assert!(classes >= last);
+            last = classes;
+        }
+    }
+
+    #[test]
+    fn ak_index_does_not_preserve_pattern_queries() {
+        // The Section 4.1 argument: the A(1)-index merges nodes that are
+        // 1-bisimilar but not bisimilar, so a query whose answer depends on
+        // structure two levels down returns spurious matches when its result
+        // on the index graph is expanded back to original nodes.
+        //
+        // Data: A1 -> B1 -> C and A2 -> B2 -> D. Query: A —(≤2)→ C.
+        // True matches for the A query node: {A1} only.
+        let g = graph(&["A", "A", "B", "B", "C", "D"], &[(0, 2), (2, 4), (1, 3), (3, 5)]);
+        let idx = ak_index(&g, 1);
+        let full = compress_b(&g);
+
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let c = p.add_node("C");
+        p.add_edge(a, c, 2);
+
+        let on_g = bounded_match(&g, &p).expect("the original graph matches");
+        assert_eq!(on_g.matches_of(a), &[NodeId(0)]);
+
+        // A(1) merges A1 and A2 (both only have B children), so the expanded
+        // answer wrongly includes A2.
+        assert!(idx.partition.bisimilar(NodeId(0), NodeId(1)));
+        let on_ak = bounded_match(&idx.graph, &p).expect("the index graph matches");
+        let mut expanded_ak: Vec<NodeId> = on_ak
+            .matches_of(a)
+            .iter()
+            .flat_map(|&blk| idx.partition.members[blk.index()].clone())
+            .collect();
+        expanded_ak.sort_unstable();
+        assert_eq!(expanded_ak, vec![NodeId(0), NodeId(1)], "A(1) false positive");
+
+        // Full-bisimulation compression keeps A1 and A2 apart and the
+        // post-processed answer is exact.
+        let on_gr = bounded_match(&full.graph, &p).expect("the compressed graph matches");
+        let expanded = full.post_process(&on_gr);
+        assert_eq!(expanded.matches_of(a), on_g.matches_of(a));
+    }
+
+    #[test]
+    fn index_graph_is_smaller_than_graph() {
+        let g = counterexample();
+        let idx = ak_index(&g, 1);
+        assert!(idx.graph.node_count() < g.node_count());
+        assert_eq!(idx.k, 1);
+    }
+}

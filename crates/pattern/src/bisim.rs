@@ -1,0 +1,401 @@
+//! The maximum bisimulation relation `Rb` (Section 4.1).
+//!
+//! A bisimulation on `G = (V, E, L)` is a relation `B` such that `(u, v) ∈
+//! B` implies `L(u) = L(v)`, every child of `u` is matched by a child of `v`
+//! that is again related by `B`, and vice versa. The *maximum* bisimulation
+//! is an equivalence relation (Lemma 5); its quotient is what `compressB`
+//! outputs.
+//!
+//! ## Algorithm
+//!
+//! We compute the coarsest stable partition by signature refinement,
+//! stratified by bisimulation rank in the style of
+//! Dovier–Piazza–Policriti (CAV 2001):
+//!
+//! 1. the initial partition groups nodes by `(label, rank rb)` — valid
+//!    because bisimilar nodes share both (Lemma 9);
+//! 2. the partition is repeatedly refined by splitting blocks whose members
+//!    have different *signatures*, where the signature of a node is the set
+//!    of blocks its children currently belong to;
+//! 3. a fixpoint of this refinement is exactly the maximum bisimulation.
+//!
+//! Each refinement round is `O(|E| + |V|)` with hashing; rank
+//! stratification keeps the number of rounds near the depth of the DAG of
+//! SCCs in practice. A deliberately naive fixpoint (no rank seeding) is kept
+//! as [`reference_bisimulation`] for differential testing.
+
+use std::collections::HashMap;
+
+use qpgc_graph::rank::{bisim_ranks, BisimRank};
+use qpgc_graph::scc::Condensation;
+use qpgc_graph::{Label, LabeledGraph, NodeId};
+
+/// The partition of `V` induced by the maximum bisimulation.
+#[derive(Clone, Debug)]
+pub struct BisimPartition {
+    /// `class_of[v]` — block id of node `v`; ids are dense `0..class_count`.
+    pub class_of: Vec<u32>,
+    /// Members of each block, ascending node order.
+    pub members: Vec<Vec<NodeId>>,
+    /// The (shared) label of each block.
+    pub labels: Vec<Label>,
+}
+
+impl BisimPartition {
+    /// Number of equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The class id of node `v`.
+    pub fn class_of(&self, v: NodeId) -> u32 {
+        self.class_of[v.index()]
+    }
+
+    /// `true` iff `u` and `v` are bisimilar.
+    pub fn bisimilar(&self, u: NodeId, v: NodeId) -> bool {
+        self.class_of(u) == self.class_of(v)
+    }
+
+    /// Canonical form (sorted member lists sorted by first member) for
+    /// comparisons in tests.
+    pub fn canonical(&self) -> Vec<Vec<u32>> {
+        let mut classes: Vec<Vec<u32>> = self
+            .members
+            .iter()
+            .map(|m| {
+                let mut v: Vec<u32> = m.iter().map(|n| n.0).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        classes.sort();
+        classes
+    }
+}
+
+/// Computes the maximum bisimulation partition of `g` (rank-stratified
+/// signature refinement).
+pub fn bisimulation_partition(g: &LabeledGraph) -> BisimPartition {
+    let cond = Condensation::of(g);
+    let ranks = bisim_ranks(g, &cond);
+    // Initial blocks: (label, rank). Both are invariants of bisimilarity.
+    let init = |v: NodeId| (g.label(v), ranks.rank[v.index()]);
+    refine_to_fixpoint(g, init)
+}
+
+/// A reference implementation seeded only by labels (no rank
+/// stratification); used in tests and the ablation benchmark.
+pub fn reference_bisimulation(g: &LabeledGraph) -> BisimPartition {
+    let init = |v: NodeId| (g.label(v), BisimRank::Finite(0));
+    refine_to_fixpoint(g, init)
+}
+
+/// Runs the signature-refinement fixpoint from an initial block assignment
+/// given by `seed` (which must be coarser than the maximum bisimulation).
+fn refine_to_fixpoint<F>(g: &LabeledGraph, seed: F) -> BisimPartition
+where
+    F: Fn(NodeId) -> (Label, BisimRank),
+{
+    let n = g.node_count();
+    let mut block: Vec<u32> = vec![0; n];
+    // Seed blocks.
+    {
+        let mut key_to_block: HashMap<(Label, BisimRank), u32> = HashMap::new();
+        for v in g.nodes() {
+            let key = seed(v);
+            let next = key_to_block.len() as u32;
+            let id = *key_to_block.entry(key).or_insert(next);
+            block[v.index()] = id;
+        }
+    }
+
+    // Refine until stable: the signature of a node is (its current block,
+    // the sorted deduplicated set of its children's blocks).
+    loop {
+        let mut key_to_block: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut new_block = vec![0u32; n];
+        let mut changed = false;
+        for v in g.nodes() {
+            let mut succ: Vec<u32> = g
+                .out_neighbors(v)
+                .iter()
+                .map(|&w| block[w.index()])
+                .collect();
+            succ.sort_unstable();
+            succ.dedup();
+            let key = (block[v.index()], succ);
+            let next = key_to_block.len() as u32;
+            let id = *key_to_block.entry(key).or_insert(next);
+            new_block[v.index()] = id;
+        }
+        // Count blocks before/after to detect stabilization.
+        let old_count = count_distinct(&block);
+        let new_count = key_to_block.len();
+        if new_count != old_count {
+            changed = true;
+        }
+        block = new_block;
+        if !changed {
+            break;
+        }
+    }
+
+    // Densify ids in first-seen order and collect members.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut class_of = vec![0u32; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut labels: Vec<Label> = Vec::new();
+    for v in g.nodes() {
+        let id = *remap.entry(block[v.index()]).or_insert_with(|| {
+            members.push(Vec::new());
+            labels.push(g.label(v));
+            (members.len() - 1) as u32
+        });
+        class_of[v.index()] = id;
+        members[id as usize].push(v);
+    }
+    BisimPartition {
+        class_of,
+        members,
+        labels,
+    }
+}
+
+fn count_distinct(block: &[u32]) -> usize {
+    let mut seen: Vec<bool> = vec![false; block.len().max(1)];
+    let mut count = 0;
+    for &b in block {
+        let b = b as usize;
+        if b >= seen.len() {
+            seen.resize(b + 1, false);
+        }
+        if !seen[b] {
+            seen[b] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// A pairwise oracle for bisimilarity used in tests: checks the definition
+/// directly by a coinductive fixpoint over candidate pairs (O(n²·m), only
+/// for tiny graphs).
+pub fn naive_bisimilar(g: &LabeledGraph, a: NodeId, b: NodeId) -> bool {
+    let n = g.node_count();
+    // related[u][v] starts true iff labels agree, then is refined.
+    let mut related = vec![vec![false; n]; n];
+    for u in g.nodes() {
+        for v in g.nodes() {
+            related[u.index()][v.index()] = g.label(u) == g.label(v);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if !related[u.index()][v.index()] {
+                    continue;
+                }
+                let forward = g.out_neighbors(u).iter().all(|&uc| {
+                    g.out_neighbors(v)
+                        .iter()
+                        .any(|&vc| related[uc.index()][vc.index()])
+                });
+                let backward = g.out_neighbors(v).iter().all(|&vc| {
+                    g.out_neighbors(u)
+                        .iter()
+                        .any(|&uc| related[uc.index()][vc.index()])
+                });
+                if !(forward && backward) {
+                    related[u.index()][v.index()] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    related[a.index()][b.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn graph(labels: &[&str], edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for l in labels {
+            g.add_node_with_label(l);
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    #[test]
+    fn leaves_with_same_label_are_bisimilar() {
+        let g = graph(&["A", "B", "B"], &[(0, 1), (0, 2)]);
+        let p = bisimulation_partition(&g);
+        assert!(p.bisimilar(NodeId(1), NodeId(2)));
+        assert_eq!(p.class_count(), 2);
+    }
+
+    #[test]
+    fn different_labels_never_bisimilar() {
+        let g = graph(&["A", "B"], &[]);
+        let p = bisimulation_partition(&g);
+        assert!(!p.bisimilar(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn paper_fig6_g1_a_nodes_not_bisimilar() {
+        // Fig. 6, G1: A1 -> B1 -> C, A2 -> {B2 -> C, B3 -> D}, A3 -> B4 -> D.
+        // None of the A nodes are bisimilar to each other.
+        let g = graph(
+            &["A", "A", "A", "B", "B", "B", "B", "C", "D"],
+            &[
+                (0, 3), // A1 -> B1
+                (3, 7), // B1 -> C
+                (1, 4), // A2 -> B2
+                (1, 5), // A2 -> B3
+                (4, 7), // B2 -> C
+                (5, 8), // B3 -> D
+                (2, 6), // A3 -> B4
+                (6, 8), // B4 -> D
+            ],
+        );
+        let p = bisimulation_partition(&g);
+        assert!(!p.bisimilar(NodeId(0), NodeId(1)));
+        assert!(!p.bisimilar(NodeId(0), NodeId(2)));
+        assert!(!p.bisimilar(NodeId(1), NodeId(2)));
+        // B1 and B2 are bisimilar (both lead only to C); B3 and B4 likewise.
+        assert!(p.bisimilar(NodeId(3), NodeId(4)));
+        assert!(p.bisimilar(NodeId(5), NodeId(6)));
+        assert!(!p.bisimilar(NodeId(3), NodeId(5)));
+    }
+
+    #[test]
+    fn paper_fig6_g2_a5_a6_bisimilar() {
+        // Fig. 6, G2 (spirit): A4 -> B5 -> C5, A5 -> B6 -> C6, A6 -> B7 -> C7,
+        // where A4 additionally reaches a D node, making it non-bisimilar to
+        // A5/A6 while still being reachability-comparable.
+        let g = graph(
+            &["A", "A", "A", "B", "B", "B", "C", "C", "C", "D"],
+            &[
+                (0, 3),
+                (3, 6),
+                (3, 9), // A4's B child also points to D
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
+            ],
+        );
+        let p = bisimulation_partition(&g);
+        assert!(p.bisimilar(NodeId(1), NodeId(2)));
+        assert!(!p.bisimilar(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn cycles_of_same_label_are_bisimilar() {
+        // Two disjoint self-reinforcing cycles with the same label are
+        // bisimilar; a chain with the same label is not bisimilar to them.
+        let g = graph(
+            &["X", "X", "X", "X", "X"],
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 4)],
+        );
+        let p = bisimulation_partition(&g);
+        assert!(p.bisimilar(NodeId(0), NodeId(1)));
+        assert!(p.bisimilar(NodeId(0), NodeId(2)));
+        assert!(p.bisimilar(NodeId(0), NodeId(4))); // self loop simulates the 2-cycle
+    }
+
+    #[test]
+    fn chain_vs_cycle_not_bisimilar() {
+        let g = graph(&["X", "X", "X"], &[(0, 1), (2, 2)]);
+        let p = bisimulation_partition(&g);
+        // Node 0 has a child that is a leaf; node 2's children all loop.
+        assert!(!p.bisimilar(NodeId(0), NodeId(2)));
+        assert!(!p.bisimilar(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn rank_stratified_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let alphabet = ["A", "B", "C"];
+        for _ in 0..25 {
+            let n = rng.gen_range(2..20);
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+            let m = rng.gen_range(0..n * 3);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            let a = bisimulation_partition(&g);
+            let b = reference_bisimulation(&g);
+            assert_eq!(a.canonical(), b.canonical());
+        }
+    }
+
+    #[test]
+    fn matches_naive_pairwise_oracle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let alphabet = ["A", "B"];
+        for _ in 0..15 {
+            let n = rng.gen_range(2..9);
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+            let m = rng.gen_range(0..n * 2);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            let p = bisimulation_partition(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        p.bisimilar(u, v),
+                        naive_bisimilar(&g, u, v),
+                        "bisimilarity mismatch for ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_labels_are_consistent() {
+        let g = graph(&["A", "B", "B", "A"], &[(0, 1), (3, 2)]);
+        let p = bisimulation_partition(&g);
+        for (c, members) in p.members.iter().enumerate() {
+            for &m in members {
+                assert_eq!(g.label(m), p.labels[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabeledGraph::new();
+        let p = bisimulation_partition(&g);
+        assert_eq!(p.class_count(), 0);
+    }
+
+    #[test]
+    fn canonical_is_stable() {
+        let g = graph(&["A", "B", "B"], &[(0, 1), (0, 2)]);
+        let p1 = bisimulation_partition(&g);
+        let p2 = bisimulation_partition(&g);
+        assert_eq!(p1.canonical(), p2.canonical());
+    }
+}

@@ -1,0 +1,284 @@
+//! `compressB` — graph pattern preserving compression (Section 4.2, Fig. 7).
+//!
+//! The compression function `R` maps `G` to the quotient of its maximum
+//! bisimulation: one node per bisimulation class carrying the class label,
+//! and an edge between two classes (self loops included) iff some original
+//! edge connects their members. The query rewriting function `F` is the
+//! identity — any pattern query is evaluated on `Gr` verbatim — and the
+//! post-processing function `P` replaces each hypernode in the answer with
+//! the original nodes it represents (Theorem 4). For Boolean pattern
+//! queries `P` is not needed.
+
+use qpgc_graph::{LabeledGraph, NodeId};
+
+use crate::bisim::{bisimulation_partition, BisimPartition};
+use crate::pattern::MatchRelation;
+
+/// The output of `compressB`: the compressed graph plus the node ↔ class
+/// indexes implementing `F` (trivially) and `P`.
+#[derive(Clone, Debug)]
+pub struct PatternCompression {
+    /// The compressed graph `Gr`. Node `i` is bisimulation class `i` of
+    /// [`PatternCompression::partition`] and carries the class label.
+    pub graph: LabeledGraph,
+    /// The underlying bisimulation partition.
+    pub partition: BisimPartition,
+}
+
+impl PatternCompression {
+    /// The class (hypernode of `Gr`) containing original node `v`.
+    pub fn class_of(&self, v: NodeId) -> NodeId {
+        NodeId(self.partition.class_of(v))
+    }
+
+    /// The original nodes represented by hypernode `c` of `Gr` (the inverse
+    /// node mapping used by the post-processing function `P`).
+    pub fn members_of(&self, c: NodeId) -> &[NodeId] {
+        &self.partition.members[c.index()]
+    }
+
+    /// The post-processing function `P`: expands a match relation computed
+    /// on `Gr` into the match relation on `G` by replacing every hypernode
+    /// with its members. Runs in time linear in the size of the output.
+    pub fn post_process(&self, on_compressed: &MatchRelation) -> MatchRelation {
+        let mut out = MatchRelation::empty(on_compressed.matches.len());
+        for (u, classes) in on_compressed.matches.iter().enumerate() {
+            let mut expanded: Vec<NodeId> = Vec::new();
+            for &c in classes {
+                expanded.extend_from_slice(self.members_of(c));
+            }
+            expanded.sort_unstable();
+            expanded.dedup();
+            out.matches[u] = expanded;
+        }
+        out
+    }
+
+    /// Number of hypernodes (`|Vr|`).
+    pub fn class_count(&self) -> usize {
+        self.partition.class_count()
+    }
+
+    /// The compression ratio `|Gr| / |G|` (the paper's `PCr`).
+    pub fn ratio(&self, original: &LabeledGraph) -> f64 {
+        qpgc_graph::stats::compression_ratio(original, &self.graph)
+    }
+}
+
+/// Runs `compressB` on `g`.
+pub fn compress_b(g: &LabeledGraph) -> PatternCompression {
+    let partition = bisimulation_partition(g);
+    let graph = build_quotient_graph(g, &partition);
+    PatternCompression { graph, partition }
+}
+
+/// Builds the bisimulation quotient graph: labelled hypernodes, one edge per
+/// connected class pair (self loops preserved).
+pub(crate) fn build_quotient_graph(g: &LabeledGraph, partition: &BisimPartition) -> LabeledGraph {
+    let classes = partition.class_count();
+    let mut quotient = LabeledGraph::with_capacity(classes);
+    for c in 0..classes {
+        // Re-intern the label *name* so that pattern queries written against
+        // the original label vocabulary resolve against `Gr` too.
+        let representative = partition.members[c][0];
+        match g.label_name(representative) {
+            Some(name) => {
+                quotient.add_node_with_label(name);
+            }
+            None => {
+                quotient.add_node(partition.labels[c]);
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        let cu = partition.class_of(u);
+        let cv = partition.class_of(v);
+        quotient.add_edge(NodeId(cu), NodeId(cv));
+    }
+    quotient
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::bounded_match;
+    use crate::pattern::Pattern;
+    use crate::simulation::simulation_match;
+
+    fn graph(labels: &[&str], edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for l in labels {
+            g.add_node_with_label(l);
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    /// The paper's recommendation network of Fig. 2 (k = 3 customers).
+    fn recommendation_network() -> LabeledGraph {
+        graph(
+            &[
+                "BSA", "BSA", // 0, 1
+                "MSA", "MSA", // 2, 3
+                "FA", "FA", "FA", "FA", // 4, 5, 6, 7
+                "C", "C", "C", "C", // 8, 9, 10, 11
+            ],
+            &[
+                // BSA1/BSA2 both recommend an MSA and an FA.
+                (0, 2),
+                (0, 4),
+                (1, 3),
+                (1, 5),
+                // FA1/FA2 recommend customers C1/C2, who talk back to FAs.
+                (4, 8),
+                (5, 9),
+                (8, 4),
+                (9, 5),
+                // FA3/FA4 recommend the remaining customers.
+                (6, 10),
+                (6, 11),
+                (7, 10),
+                (7, 11),
+                // Customers C3.. interact with FA3/FA4.
+                (10, 6),
+                (11, 7),
+                // MSAs recommend FAs.
+                (2, 6),
+                (3, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn quotient_merges_bisimilar_nodes() {
+        let g = recommendation_network();
+        let c = compress_b(&g);
+        // BSA1/BSA2, MSA1/MSA2, FA3/FA4 and C3..Ck merge.
+        assert!(c.class_count() < g.node_count());
+        assert_eq!(c.class_of(NodeId(0)), c.class_of(NodeId(1)));
+        assert_eq!(c.class_of(NodeId(2)), c.class_of(NodeId(3)));
+        assert!(c.graph.size() < g.size());
+        assert!(c.ratio(&g) < 1.0);
+    }
+
+    #[test]
+    fn quotient_preserves_labels() {
+        let g = recommendation_network();
+        let c = compress_b(&g);
+        for v in g.nodes() {
+            let class = c.class_of(v);
+            assert_eq!(g.label_name(v), c.graph.label_name(class));
+        }
+    }
+
+    #[test]
+    fn quotient_keeps_self_loops_for_intra_class_edges() {
+        // Two bisimilar nodes forming a cycle produce a hypernode self loop.
+        let g = graph(&["X", "X"], &[(0, 1), (1, 0)]);
+        let c = compress_b(&g);
+        assert_eq!(c.class_count(), 1);
+        assert!(c.graph.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    fn assert_pattern_preserved(g: &LabeledGraph, p: &Pattern) {
+        let c = compress_b(g);
+        let on_g = bounded_match(g, p);
+        let on_gr = bounded_match(&c.graph, p);
+        match (on_g, on_gr) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.canonical(), c.post_process(&b).canonical());
+            }
+            (a, b) => panic!(
+                "boolean answer not preserved: original matched = {}, compressed matched = {}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+
+    #[test]
+    fn preserves_paper_example_pattern() {
+        // Qp of Fig. 2: BSA —2→ C, C —1→ FA, BSA —1→ FA (approximation of the
+        // described query: customers within 2 hops of BSAs, interacting with FAs).
+        let g = recommendation_network();
+        let mut p = Pattern::new();
+        let b = p.add_node("BSA");
+        let cst = p.add_node("C");
+        let f = p.add_node("FA");
+        p.add_edge(b, cst, 2);
+        p.add_edge(cst, f, 1);
+        assert_pattern_preserved(&g, &p);
+    }
+
+    #[test]
+    fn preserves_simulation_patterns() {
+        let g = recommendation_network();
+        let mut p = Pattern::new();
+        let f = p.add_node("FA");
+        let cst = p.add_node("C");
+        p.add_edge(f, cst, 1);
+        p.add_edge(cst, f, 1);
+        let c = compress_b(&g);
+        let on_g = simulation_match(&g, &p).unwrap();
+        let on_gr = simulation_match(&c.graph, &p).unwrap();
+        assert_eq!(on_g.canonical(), c.post_process(&on_gr).canonical());
+    }
+
+    #[test]
+    fn preserves_unbounded_patterns() {
+        let g = recommendation_network();
+        let mut p = Pattern::new();
+        let b = p.add_node("BSA");
+        let f = p.add_node("FA");
+        p.add_edge_unbounded(b, f);
+        assert_pattern_preserved(&g, &p);
+    }
+
+    #[test]
+    fn preserves_boolean_answer_for_unmatchable_pattern() {
+        let g = recommendation_network();
+        let mut p = Pattern::new();
+        let c1 = p.add_node("C");
+        let b = p.add_node("BSA");
+        p.add_edge(c1, b, 1); // no customer recommends a BSA
+        assert_pattern_preserved(&g, &p);
+    }
+
+    #[test]
+    fn preserves_patterns_on_cyclic_graph() {
+        let g = graph(
+            &["A", "B", "B", "C", "C"],
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 1), (4, 2)],
+        );
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let b = p.add_node("B");
+        let c = p.add_node("C");
+        p.add_edge(a, b, 1);
+        p.add_edge(b, c, 2);
+        p.add_edge(c, b, 1);
+        assert_pattern_preserved(&g, &p);
+    }
+
+    #[test]
+    fn post_process_expands_and_dedups() {
+        let g = graph(&["A", "B", "B"], &[(0, 1), (0, 2)]);
+        let c = compress_b(&g);
+        let mut on_gr = MatchRelation::empty(1);
+        let class_b = c.class_of(NodeId(1));
+        on_gr.matches[0] = vec![class_b, class_b];
+        let expanded = c.post_process(&on_gr);
+        assert_eq!(expanded.matches[0], vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabeledGraph::new();
+        let c = compress_b(&g);
+        assert_eq!(c.class_count(), 0);
+        assert_eq!(c.graph.node_count(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Graph simulation (Henzinger, Henzinger & Kopke, FOCS 1995).
+//!
+//! Pattern queries "via graph simulation" are the special case of the
+//! paper's pattern queries where every edge bound is `1`: each pattern edge
+//! must be matched by a single data edge. The maximum simulation relation is
+//! computed by the classic refinement: start from label-compatible candidate
+//! sets and repeatedly remove a candidate `v` of pattern node `u` if some
+//! pattern edge `(u, u')` cannot be matched from `v`.
+
+use qpgc_graph::{LabeledGraph, NodeId};
+
+use crate::pattern::{resolve_labels, MatchRelation, Pattern};
+
+/// Computes the maximum graph-simulation match of `pattern` in `g`.
+///
+/// Returns `None` when the pattern does not match (some pattern node ends up
+/// with no candidates), otherwise the maximum match relation.
+///
+/// Every edge bound of the pattern is *interpreted as 1* regardless of its
+/// declared value; use [`crate::bounded::bounded_match`] for general bounds.
+pub fn simulation_match(g: &LabeledGraph, pattern: &Pattern) -> Option<MatchRelation> {
+    if pattern.node_count() == 0 {
+        return None;
+    }
+    let labels = resolve_labels(pattern, g);
+    // Candidate sets: nodes with the right label.
+    let mut sim: Vec<Vec<NodeId>> = Vec::with_capacity(pattern.node_count());
+    let by_label = g.nodes_by_label();
+    for u in pattern.nodes() {
+        let cands = match labels[u as usize] {
+            Some(l) => by_label.get(&l).cloned().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        if cands.is_empty() {
+            return None;
+        }
+        sim.push(cands);
+    }
+
+    // Membership bitmaps for O(1) "is v in sim(u')" checks.
+    let mut member: Vec<Vec<bool>> = sim
+        .iter()
+        .map(|s| {
+            let mut m = vec![false; g.node_count()];
+            for &v in s {
+                m[v.index()] = true;
+            }
+            m
+        })
+        .collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(u, u2, _) in pattern.edges() {
+            // v stays in sim(u) only if some child of v is in sim(u2).
+            let (u, u2) = (u as usize, u2 as usize);
+            let mut retained: Vec<NodeId> = Vec::with_capacity(sim[u].len());
+            for &v in &sim[u] {
+                let ok = g
+                    .out_neighbors(v)
+                    .iter()
+                    .any(|&w| member[u2][w.index()]);
+                if ok {
+                    retained.push(v);
+                } else {
+                    member[u][v.index()] = false;
+                    changed = true;
+                }
+            }
+            if retained.is_empty() {
+                return None;
+            }
+            sim[u] = retained;
+        }
+    }
+
+    let mut result = MatchRelation::empty(pattern.node_count());
+    for (u, mut s) in sim.into_iter().enumerate() {
+        s.sort_unstable();
+        result.matches[u] = s;
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(labels: &[&str], edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for l in labels {
+            g.add_node_with_label(l);
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    #[test]
+    fn single_edge_pattern() {
+        let g = graph(&["A", "B", "B", "A"], &[(0, 1), (3, 2), (1, 2)]);
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let b = p.add_node("B");
+        p.add_edge(a, b, 1);
+        let m = simulation_match(&g, &p).unwrap();
+        assert_eq!(m.matches_of(a), &[NodeId(0), NodeId(3)]);
+        assert_eq!(m.matches_of(b), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn refinement_propagates_upward() {
+        // A -> B -> C pattern. Data: A1 -> B1 -> C, A2 -> B2 (B2 has no C
+        // child), so A2 and B2 must be eliminated.
+        let g = graph(&["A", "B", "C", "A", "B"], &[(0, 1), (1, 2), (3, 4)]);
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let b = p.add_node("B");
+        let c = p.add_node("C");
+        p.add_edge(a, b, 1);
+        p.add_edge(b, c, 1);
+        let m = simulation_match(&g, &p).unwrap();
+        assert_eq!(m.matches_of(a), &[NodeId(0)]);
+        assert_eq!(m.matches_of(b), &[NodeId(1)]);
+        assert_eq!(m.matches_of(c), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn no_match_when_label_missing() {
+        let g = graph(&["A", "B"], &[(0, 1)]);
+        let mut p = Pattern::new();
+        p.add_node("Z");
+        assert!(simulation_match(&g, &p).is_none());
+    }
+
+    #[test]
+    fn no_match_when_edge_unsatisfiable() {
+        let g = graph(&["A", "B"], &[]);
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let b = p.add_node("B");
+        p.add_edge(a, b, 1);
+        assert!(simulation_match(&g, &p).is_none());
+    }
+
+    #[test]
+    fn cyclic_pattern_on_cyclic_data() {
+        let g = graph(&["A", "B", "A", "B"], &[(0, 1), (1, 0), (2, 3)]);
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let b = p.add_node("B");
+        p.add_edge(a, b, 1);
+        p.add_edge(b, a, 1);
+        let m = simulation_match(&g, &p).unwrap();
+        // Only the 2-cycle participates; node 2 (A) and 3 (B) have no way back.
+        assert_eq!(m.matches_of(a), &[NodeId(0)]);
+        assert_eq!(m.matches_of(b), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_pattern_is_no_match() {
+        let g = graph(&["A"], &[]);
+        assert!(simulation_match(&g, &Pattern::new()).is_none());
+    }
+
+    #[test]
+    fn isolated_pattern_node_matches_by_label_only() {
+        let g = graph(&["A", "A", "B"], &[(0, 2)]);
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let m = simulation_match(&g, &p).unwrap();
+        assert_eq!(m.matches_of(a), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn maximality_contains_every_valid_simulation() {
+        // The result must be the *maximum* match: every node that can match
+        // does match. Star data graph: hub A with three B children, each B
+        // with its own C child except one.
+        let g = graph(
+            &["A", "B", "B", "B", "C", "C"],
+            &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5)],
+        );
+        let mut p = Pattern::new();
+        let a = p.add_node("A");
+        let b = p.add_node("B");
+        let c = p.add_node("C");
+        p.add_edge(a, b, 1);
+        p.add_edge(b, c, 1);
+        let m = simulation_match(&g, &p).unwrap();
+        assert_eq!(m.matches_of(b), &[NodeId(1), NodeId(2)]);
+        assert_eq!(m.matches_of(c), &[NodeId(4), NodeId(5)]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The reachability equivalence relation `Re` (Section 3.1).
+//!
+//! Two nodes `u`, `v` are reachability equivalent iff they have the same set
+//! of *proper* ancestors and the same set of *proper* descendants, where
+//! "proper" means via non-empty paths (the paper's Example 2: two sibling
+//! `BSA` nodes with identical ancestors and descendants are equivalent even
+//! though neither reaches the other).
+//!
+//! ## How it is computed
+//!
+//! Descendant and ancestor sets are constant across a strongly connected
+//! component, so the relation is computed entirely on the SCC condensation:
+//!
+//! 1. compute the condensation `Gscc` (Tarjan);
+//! 2. for every SCC `C`, its members' proper descendant set is
+//!    `members(desc_scc(C)) ∪ members(C if C is cyclic)` — likewise for
+//!    ancestors;
+//! 3. group SCCs with identical `(descendant, ancestor)` signatures.
+//!
+//! Step 3 compares bit sets over SCC ids. To keep memory bounded on large
+//! graphs the signature comparison is chunked: the partition is refined one
+//! block of `chunk` columns at a time, which yields exactly the same final
+//! partition as comparing full signatures.
+//!
+//! ## Structural facts used elsewhere
+//!
+//! * The quotient of `Re` is a DAG (mutually reachable classes would have
+//!   merged), so `compressR` can transitively reduce it.
+//! * Every equivalence class is either exactly one *cyclic* SCC, or a set of
+//!   acyclic singleton SCCs. The per-class [`ReachPartition::cyclic`] flag
+//!   records which, and is what answers the "same class, different node"
+//!   corner case of query evaluation.
+
+use std::collections::HashMap;
+
+use qpgc_graph::reach_sets::{DagReach, DEFAULT_CHUNK};
+use qpgc_graph::scc::Condensation;
+use qpgc_graph::{LabeledGraph, NodeId};
+
+/// The partition of `V` induced by the reachability equivalence relation.
+#[derive(Clone, Debug)]
+pub struct ReachPartition {
+    /// `class_of[v]` is the class id of node `v`. Class ids are dense,
+    /// `0..class_count()`.
+    pub class_of: Vec<u32>,
+    /// `members[c]` lists the nodes of class `c` (in ascending node order).
+    pub members: Vec<Vec<NodeId>>,
+    /// `cyclic[c]` is `true` iff class `c` is a cyclic SCC, i.e. iff its
+    /// members reach themselves via non-empty paths.
+    pub cyclic: Vec<bool>,
+}
+
+impl ReachPartition {
+    /// Number of equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The class id of node `v`.
+    pub fn class_of(&self, v: NodeId) -> u32 {
+        self.class_of[v.index()]
+    }
+
+    /// `true` iff `u` and `v` are reachability equivalent.
+    pub fn equivalent(&self, u: NodeId, v: NodeId) -> bool {
+        self.class_of(u) == self.class_of(v)
+    }
+
+    /// A canonical representation of the partition (sorted member lists,
+    /// sorted by smallest member), used to compare partitions produced by
+    /// different algorithms (batch vs incremental) in tests.
+    pub fn canonical(&self) -> Vec<Vec<u32>> {
+        let mut classes: Vec<Vec<u32>> = self
+            .members
+            .iter()
+            .map(|m| {
+                let mut v: Vec<u32> = m.iter().map(|n| n.0).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        classes.sort();
+        classes
+    }
+}
+
+/// Computes the reachability equivalence partition of `g` with the default
+/// signature chunk width.
+pub fn reachability_partition(g: &LabeledGraph) -> ReachPartition {
+    reachability_partition_with_chunk(g, DEFAULT_CHUNK)
+}
+
+/// [`reachability_partition`] with an explicit chunk width (exposed for
+/// tests and the ablation benchmarks).
+pub fn reachability_partition_with_chunk(g: &LabeledGraph, chunk: usize) -> ReachPartition {
+    let cond = Condensation::of(g);
+    let dag = DagReach::from_condensation(&cond);
+    let c = cond.component_count();
+
+    let cyclic_scc: Vec<bool> = (0..c as u32).map(|cu| cond.is_cyclic(cu, g)).collect();
+
+    // Refine a partition of SCCs chunk by chunk. `group[scc]` is the current
+    // block id; after all chunks the blocks are exactly the groups of SCCs
+    // with identical (descendant, ancestor) signatures.
+    let mut group: Vec<u32> = vec![0; c];
+    // Cyclic SCCs include themselves in their own closure; fold that into
+    // the initial grouping so the chunk sweep only has to compare
+    // condensation-level closures.
+    for (i, &cyc) in cyclic_scc.iter().enumerate() {
+        if cyc {
+            group[i] = 1;
+        }
+    }
+
+    for cols in dag.chunks(chunk) {
+        let desc = dag.descendants_chunk(cols.clone());
+        let anc = dag.ancestors_chunk(cols.clone());
+        let mut key_to_group: HashMap<(u32, Vec<u64>, Vec<u64>), u32> = HashMap::new();
+        let mut next = 0u32;
+        let mut new_group = vec![0u32; c];
+        for scc in 0..c {
+            let mut d = desc[scc].clone();
+            let mut a = anc[scc].clone();
+            // A cyclic SCC reaches (and is reached by) its own members via
+            // non-empty paths: include the self column when it falls in this
+            // chunk. (Acyclic SCCs must *not* include it — that is exactly
+            // what distinguishes a cyclic singleton from an acyclic one.)
+            if cyclic_scc[scc] && scc >= cols.start && scc < cols.end {
+                d.insert(scc - cols.start);
+                a.insert(scc - cols.start);
+            }
+            let key = (group[scc], d.as_blocks().to_vec(), a.as_blocks().to_vec());
+            let id = *key_to_group.entry(key).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            new_group[scc] = id;
+        }
+        group = new_group;
+    }
+
+    // Renumber groups densely in first-seen order and expand to node level.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut class_of = vec![0u32; g.node_count()];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut cyclic: Vec<bool> = Vec::new();
+    for v in g.nodes() {
+        let scc = cond.component_of(v) as usize;
+        let gid = group[scc];
+        let class = *remap.entry(gid).or_insert_with(|| {
+            members.push(Vec::new());
+            cyclic.push(false);
+            (members.len() - 1) as u32
+        });
+        class_of[v.index()] = class;
+        members[class as usize].push(v);
+        if cyclic_scc[scc] {
+            cyclic[class as usize] = true;
+        }
+    }
+
+    ReachPartition {
+        class_of,
+        members,
+        cyclic,
+    }
+}
+
+/// A slow but obviously-correct reference implementation used by tests and
+/// property tests: computes full node-level proper ancestor/descendant sets
+/// and groups nodes by them.
+pub fn reference_partition(g: &LabeledGraph) -> ReachPartition {
+    let (desc, anc) = qpgc_graph::reach_sets::node_closures(g);
+    let mut key_to_class: HashMap<(Vec<u64>, Vec<u64>), u32> = HashMap::new();
+    let mut class_of = vec![0u32; g.node_count()];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut cyclic: Vec<bool> = Vec::new();
+    for v in g.nodes() {
+        let key = (
+            desc[v.index()].as_blocks().to_vec(),
+            anc[v.index()].as_blocks().to_vec(),
+        );
+        let class = *key_to_class.entry(key).or_insert_with(|| {
+            members.push(Vec::new());
+            cyclic.push(false);
+            (members.len() - 1) as u32
+        });
+        class_of[v.index()] = class;
+        members[class as usize].push(v);
+        if desc[v.index()].contains(v.index()) {
+            cyclic[class as usize] = true;
+        }
+    }
+    ReachPartition {
+        class_of,
+        members,
+        cyclic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node_with_label("X");
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    #[test]
+    fn diamond_merges_middle_nodes() {
+        // 0 -> {1,2} -> 3 : nodes 1 and 2 are equivalent.
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = reachability_partition(&g);
+        assert_eq!(p.class_count(), 3);
+        assert!(p.equivalent(NodeId(1), NodeId(2)));
+        assert!(!p.equivalent(NodeId(0), NodeId(1)));
+        assert!(!p.cyclic[p.class_of(NodeId(1)) as usize]);
+    }
+
+    #[test]
+    fn scc_members_are_equivalent_and_cyclic() {
+        let g = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        let p = reachability_partition(&g);
+        assert!(p.equivalent(NodeId(0), NodeId(1)));
+        assert!(p.cyclic[p.class_of(NodeId(0)) as usize]);
+        assert!(!p.cyclic[p.class_of(NodeId(3)) as usize]);
+    }
+
+    #[test]
+    fn different_descendants_not_equivalent() {
+        // The paper's FA3/FA4 example: 0 -> 2, 1 -> 2, but 0 -> 3 as well.
+        let g = graph(4, &[(0, 2), (1, 2), (0, 3)]);
+        let p = reachability_partition(&g);
+        assert!(!p.equivalent(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn siblings_with_same_closure_are_equivalent_without_edge_between_them() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: nodes 1, 2 equivalent though
+        // neither reaches the other (the BSA1/BSA2 situation of Example 2).
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = reachability_partition(&g);
+        assert!(p.equivalent(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn cyclic_singleton_differs_from_acyclic_singleton() {
+        // 0 -> 1 (plain), 0 -> 2 where 2 has a self loop; 1 and 2 both have
+        // ancestor {0} and no other descendants, but 2 is its own descendant.
+        let g = graph(3, &[(0, 1), (0, 2), (2, 2)]);
+        let p = reachability_partition(&g);
+        assert!(!p.equivalent(NodeId(1), NodeId(2)));
+        assert!(p.cyclic[p.class_of(NodeId(2)) as usize]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_equivalent() {
+        let g = graph(3, &[(0, 1)]);
+        // node 2 is isolated; nodes 0,1,2 all have distinct closures except…
+        let p = reachability_partition(&g);
+        assert_eq!(p.class_count(), 3);
+        let g2 = graph(4, &[(0, 1)]);
+        // two isolated nodes share (∅, ∅) closures.
+        let p2 = reachability_partition(&g2);
+        assert!(p2.equivalent(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn chunked_matches_unchunked() {
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 3),
+            (5, 0),
+            (5, 6),
+            (6, 1),
+            (7, 7),
+            (8, 3),
+        ];
+        let g = graph(9, &edges);
+        let full = reachability_partition_with_chunk(&g, 1024);
+        let tiny = reachability_partition_with_chunk(&g, 1);
+        assert_eq!(full.canonical(), tiny.canonical());
+    }
+
+    #[test]
+    fn matches_reference_on_examples() {
+        let cases: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
+            (5, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]),
+            (6, vec![(0, 1), (0, 2), (3, 1), (3, 2), (1, 4), (2, 5)]),
+            (3, vec![]),
+            (4, vec![(0, 0), (1, 1), (2, 3)]),
+        ];
+        for (n, edges) in cases {
+            let g = graph(n, &edges);
+            let fast = reachability_partition(&g);
+            let slow = reference_partition(&g);
+            assert_eq!(fast.canonical(), slow.canonical(), "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn paper_example_recommendation_network() {
+        // A simplified version of Fig. 2: BSA1/BSA2 both point at MSA and FA;
+        // they are reachability equivalent.
+        let mut g = LabeledGraph::new();
+        let bsa1 = g.add_node_with_label("BSA");
+        let bsa2 = g.add_node_with_label("BSA");
+        let msa = g.add_node_with_label("MSA");
+        let fa = g.add_node_with_label("FA");
+        let c = g.add_node_with_label("C");
+        g.add_edge(bsa1, msa);
+        g.add_edge(bsa1, fa);
+        g.add_edge(bsa2, msa);
+        g.add_edge(bsa2, fa);
+        g.add_edge(fa, c);
+        let p = reachability_partition(&g);
+        assert!(p.equivalent(bsa1, bsa2));
+        // Labels are irrelevant for reachability equivalence.
+        assert!(!p.equivalent(msa, fa));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LabeledGraph::new();
+        let p = reachability_partition(&g);
+        assert_eq!(p.class_count(), 0);
+        assert!(p.canonical().is_empty());
+    }
+}

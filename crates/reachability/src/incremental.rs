@@ -1,0 +1,696 @@
+//! `incRCM` — incremental maintenance of the reachability-preserving
+//! compression (Section 5.1, Fig. 8).
+//!
+//! Given the compression of `G` and a batch `ΔG` of edge insertions and
+//! deletions, the maintained state is updated to the compression of
+//! `G ⊕ ΔG` without recompressing from scratch and without searching `G`:
+//! the algorithm touches only the compressed structures, the update batch,
+//! and the adjacency lists of nodes inside the *affected area*.
+//!
+//! ## Algorithm
+//!
+//! The paper's `incRCM` proceeds by reducing redundant updates, maintaining
+//! topological ranks, and splitting / merging hypernodes. The `Split` /
+//! `Merge` procedures are only sketched in the paper; this implementation
+//! realizes the same plan as an *affected-region localized recomputation*
+//! (see DESIGN.md §2):
+//!
+//! 1. **Reduce `ΔG`** — normalize the batch against `G` and drop insertions
+//!    that are already implied by the current reachability relation (the
+//!    paper's redundant-insertion rule; provably safe for insertion-only
+//!    batches, which is when it is applied).
+//! 2. **Locate the affected area** — for an update `(u, w)` the only classes
+//!    whose ancestor or descendant sets can change are those that reach
+//!    `[u]` or are reachable from `[w]` (plus the endpoint classes
+//!    themselves). The union over the batch is the affected class set `AFF`,
+//!    computed by two multi-source BFS traversals over the compressed graph.
+//! 3. **Localized recomputation** — build a *hybrid graph* whose nodes are
+//!    the members of affected classes (exploded) plus one atom per
+//!    unaffected class (cyclic atoms get a self loop), and whose edges are
+//!    the compressed inter-class edges between unaffected classes plus the
+//!    real adjacency of affected members. The reachability equivalence of
+//!    the hybrid graph, computed by the very same routine as the batch
+//!    algorithm, is exactly the new equivalence restricted to the affected
+//!    region; unaffected classes that come out untouched keep their
+//!    identity.
+//! 4. **Patch the state** — splice the new classes into the node → class
+//!    index and rebuild the inter-class edge counters incident to them.
+//!
+//! The cost is `O((|AFF| + |Gr|)²/w + edges incident to affected members)`,
+//! independent of `|G|`, matching the spirit of the paper's
+//! `O(|AFF| · |Gr|)` bound (the problem itself is unbounded — Theorem 6 —
+//! so no algorithm can depend on `|ΔG| + |ΔGr|` alone).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use qpgc_graph::transitive::transitive_reduction;
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+
+use crate::compress::ReachCompression;
+use crate::equivalence::{reachability_partition, ReachPartition};
+
+/// Statistics of one incremental maintenance step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncStats {
+    /// Number of updates after normalization and redundancy reduction.
+    pub effective_updates: usize,
+    /// Number of updates dropped as redundant.
+    pub redundant_dropped: usize,
+    /// Number of affected equivalence classes (exploded into members).
+    pub affected_classes: usize,
+    /// Number of original nodes inside affected classes.
+    pub affected_nodes: usize,
+    /// Number of nodes of the hybrid graph used for the localized
+    /// recomputation.
+    pub hybrid_nodes: usize,
+    /// Number of classes created or rewritten by this step (a proxy for
+    /// `|ΔGr|`).
+    pub changed_classes: usize,
+}
+
+/// Incrementally maintained reachability-preserving compression.
+#[derive(Clone, Debug)]
+pub struct IncrementalReach {
+    /// `class_of[v]` — class id of node `v`. Ids are stable across updates
+    /// for unaffected classes; freed ids are recycled.
+    class_of: Vec<u32>,
+    /// Members per class id (meaningful only for active ids).
+    members: Vec<Vec<NodeId>>,
+    /// Cyclic flag per class id.
+    cyclic: Vec<bool>,
+    /// Whether a class id is in use.
+    active: Vec<bool>,
+    /// Recycled class ids.
+    free_ids: Vec<u32>,
+    /// Directed counts of original edges between *distinct* classes.
+    q_edges: HashMap<(u32, u32), u32>,
+}
+
+impl IncrementalReach {
+    /// Builds the compression of `g` from scratch (the batch step that the
+    /// incremental algorithm then maintains).
+    pub fn new(g: &LabeledGraph) -> Self {
+        let partition = reachability_partition(g);
+        Self::from_partition(g, partition)
+    }
+
+    fn from_partition(g: &LabeledGraph, partition: ReachPartition) -> Self {
+        let classes = partition.class_count();
+        let mut q_edges: HashMap<(u32, u32), u32> = HashMap::new();
+        for (u, v) in g.edges() {
+            let cu = partition.class_of(u);
+            let cv = partition.class_of(v);
+            if cu != cv {
+                *q_edges.entry((cu, cv)).or_insert(0) += 1;
+            }
+        }
+        IncrementalReach {
+            class_of: partition.class_of,
+            members: partition.members,
+            cyclic: partition.cyclic,
+            active: vec![true; classes],
+            free_ids: Vec::new(),
+            q_edges,
+        }
+    }
+
+    /// Number of active equivalence classes (`|Vr|`).
+    pub fn class_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of compressed inter-class edges currently tracked (before
+    /// transitive reduction).
+    pub fn quotient_edge_count(&self) -> usize {
+        self.q_edges.len()
+    }
+
+    /// The class id of node `v`.
+    pub fn class_of(&self, v: NodeId) -> u32 {
+        self.class_of[v.index()]
+    }
+
+    /// Answers the reachability query `QR(v, w)` using only the compressed
+    /// state (BFS over the class-level edges).
+    pub fn query(&self, v: NodeId, w: NodeId) -> bool {
+        if v == w {
+            return true;
+        }
+        let cv = self.class_of(v);
+        let cw = self.class_of(w);
+        if cv == cw {
+            return self.cyclic[cv as usize];
+        }
+        self.class_reaches(cv, cw)
+    }
+
+    fn class_adjacency(&self) -> HashMap<u32, Vec<u32>> {
+        let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(a, b) in self.q_edges.keys() {
+            adj.entry(a).or_default().push(b);
+        }
+        adj
+    }
+
+    fn class_reaches(&self, from: u32, to: u32) -> bool {
+        let adj = self.class_adjacency();
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(from);
+        queue.push_back(from);
+        while let Some(c) = queue.pop_front() {
+            if let Some(next) = adj.get(&c) {
+                for &d in next {
+                    if d == to {
+                        return true;
+                    }
+                    if visited.insert(d) {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Multi-source BFS over class-level edges; `forward` follows edges,
+    /// otherwise reverse edges. Returns every class reached *including* the
+    /// sources.
+    fn class_cone(&self, sources: &HashSet<u32>, forward: bool) -> HashSet<u32> {
+        let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(a, b) in self.q_edges.keys() {
+            if forward {
+                adj.entry(a).or_default().push(b);
+            } else {
+                adj.entry(b).or_default().push(a);
+            }
+        }
+        let mut visited: HashSet<u32> = sources.clone();
+        let mut queue: VecDeque<u32> = sources.iter().copied().collect();
+        while let Some(c) = queue.pop_front() {
+            if let Some(next) = adj.get(&c) {
+                for &d in next {
+                    if visited.insert(d) {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Applies the update batch: mutates `g` to `G ⊕ ΔG` and maintains the
+    /// compressed state so that it equals `R(G ⊕ ΔG)`.
+    pub fn apply(&mut self, g: &mut LabeledGraph, batch: &UpdateBatch) -> IncStats {
+        let mut stats = IncStats::default();
+        let norm = batch.normalized(g);
+        if norm.is_empty() {
+            return stats;
+        }
+
+        // Step 1: redundant-insertion reduction (safe when the batch inserts
+        // only, because insertions never invalidate the implying paths).
+        let insertions_only = norm.updates().iter().all(|u| u.is_insert());
+        let mut effective: Vec<(NodeId, NodeId, bool)> = Vec::new();
+        for u in norm.updates() {
+            let (a, b) = u.edge();
+            // Redundant iff `a` already reaches `b` via a *non-empty* path:
+            // then the proper-reachability relation (and hence Re and Gr) is
+            // unchanged by the insertion. Note the self-loop case: inserting
+            // `(a, a)` is only redundant if `a` already lies on a cycle.
+            let already_proper_reach = if a == b {
+                self.cyclic[self.class_of(a) as usize]
+            } else {
+                self.query(a, b)
+            };
+            if insertions_only && u.is_insert() && already_proper_reach {
+                stats.redundant_dropped += 1;
+                continue;
+            }
+            effective.push((a, b, u.is_insert()));
+        }
+        stats.effective_updates = effective.len();
+
+        // All normalized updates are applied to the graph, including the
+        // redundant ones (they still change the edge set, just not the
+        // reachability relation).
+        norm.apply_to(g);
+
+        if effective.is_empty() {
+            return stats;
+        }
+
+        // Step 2: affected classes = up-cone of the sources ∪ down-cone of
+        // the targets, over the class-level edges of the *old* compression.
+        let mut up_sources: HashSet<u32> = HashSet::new();
+        let mut down_sources: HashSet<u32> = HashSet::new();
+        for &(a, b, _) in &effective {
+            up_sources.insert(self.class_of(a));
+            down_sources.insert(self.class_of(b));
+        }
+        let mut affected: HashSet<u32> = self.class_cone(&up_sources, false);
+        affected.extend(self.class_cone(&down_sources, true));
+        stats.affected_classes = affected.len();
+        stats.affected_nodes = affected
+            .iter()
+            .map(|&c| self.members[c as usize].len())
+            .sum();
+
+        // Step 3: localized recomputation on the hybrid graph.
+        let changed = self.localized_recompute(g, &affected);
+        stats.changed_classes = changed;
+        stats.hybrid_nodes = self.class_count().min(usize::MAX); // informative only
+
+        stats
+    }
+
+    /// Rebuilds the equivalence inside the affected region and patches the
+    /// state. Returns the number of classes created or rewritten.
+    fn localized_recompute(&mut self, g: &LabeledGraph, affected: &HashSet<u32>) -> usize {
+        // ---- Build the hybrid graph. -------------------------------------
+        #[derive(Clone, Copy)]
+        enum Unit {
+            Atom(u32),
+            Member(NodeId),
+        }
+        let mut hybrid = LabeledGraph::new();
+        let mut units: Vec<Unit> = Vec::new();
+        let mut atom_of_class: HashMap<u32, NodeId> = HashMap::new();
+        let mut hybrid_of_node: HashMap<NodeId, NodeId> = HashMap::new();
+
+        for c in 0..self.members.len() as u32 {
+            if !self.active[c as usize] || affected.contains(&c) {
+                continue;
+            }
+            let h = hybrid.add_node_with_label("atom");
+            units.push(Unit::Atom(c));
+            atom_of_class.insert(c, h);
+            if self.cyclic[c as usize] {
+                // A cyclic class reaches itself via non-empty paths; the self
+                // loop keeps that visible to the equivalence computation.
+                hybrid.add_edge(h, h);
+            }
+        }
+        for &c in affected {
+            for &v in &self.members[c as usize] {
+                let h = hybrid.add_node_with_label("node");
+                units.push(Unit::Member(v));
+                hybrid_of_node.insert(v, h);
+            }
+        }
+
+        // Edges between unaffected classes come from the maintained
+        // class-level edge counters.
+        for &(a, b) in self.q_edges.keys() {
+            if let (Some(&ha), Some(&hb)) = (atom_of_class.get(&a), atom_of_class.get(&b)) {
+                hybrid.add_edge(ha, hb);
+            }
+        }
+        // Edges incident to affected members come from the (already updated)
+        // data graph adjacency of exactly those members.
+        for (&v, &hv) in &hybrid_of_node {
+            for &w in g.out_neighbors(v) {
+                let hw = match hybrid_of_node.get(&w) {
+                    Some(&h) => h,
+                    None => atom_of_class[&self.class_of(w)],
+                };
+                hybrid.add_edge(hv, hw);
+            }
+            for &z in g.in_neighbors(v) {
+                if !hybrid_of_node.contains_key(&z) {
+                    let hz = atom_of_class[&self.class_of(z)];
+                    hybrid.add_edge(hz, hv);
+                }
+            }
+        }
+
+        // ---- Recompute the equivalence on the hybrid graph. --------------
+        let part = reachability_partition(&hybrid);
+
+        // Group hybrid units by their new class.
+        let mut groups: Vec<Vec<Unit>> = vec![Vec::new(); part.class_count()];
+        for (i, &unit) in units.iter().enumerate() {
+            groups[part.class_of(NodeId::new(i)) as usize].push(unit);
+        }
+
+        // ---- Patch the maintained state. ----------------------------------
+        // Classes whose composition changes: all affected classes, plus any
+        // unaffected atom that merges with something else.
+        let mut retired: HashSet<u32> = affected.clone();
+        for group in &groups {
+            if group.len() == 1 {
+                if let Unit::Atom(_) = group[0] {
+                    continue; // unchanged class keeps its identity
+                }
+            }
+            for unit in group {
+                if let Unit::Atom(c) = unit {
+                    retired.insert(*c);
+                }
+            }
+        }
+
+        // Pass A: collect the member sets of every changed group *before*
+        // any class id is retired or recycled (absorbed atoms hand over
+        // their member lists wholesale here).
+        let mut pending: Vec<(Vec<NodeId>, bool)> = Vec::new();
+        for (gi, group) in groups.iter().enumerate() {
+            if group.len() == 1 {
+                if let Unit::Atom(_) = group[0] {
+                    continue;
+                }
+            }
+            let mut member_nodes: Vec<NodeId> = Vec::new();
+            for unit in group {
+                match unit {
+                    Unit::Member(v) => member_nodes.push(*v),
+                    Unit::Atom(c) => {
+                        // The atom's previous members move wholesale.
+                        let old = std::mem::take(&mut self.members[*c as usize]);
+                        member_nodes.extend(old);
+                    }
+                }
+            }
+            member_nodes.sort_unstable();
+            pending.push((member_nodes, part.cyclic[gi]));
+        }
+
+        // Pass B: retire changed classes and drop the class-level edges
+        // touching them; they are rebuilt below from the adjacency of the
+        // new classes' members.
+        self.q_edges
+            .retain(|&(a, b), _| !retired.contains(&a) && !retired.contains(&b));
+        for &c in &retired {
+            self.active[c as usize] = false;
+            self.members[c as usize].clear();
+            self.free_ids.push(c);
+        }
+
+        // Pass C: create the new classes (recycling retired ids).
+        let mut new_ids: Vec<u32> = Vec::new();
+        let mut changed = 0usize;
+        for (member_nodes, is_cyclic) in pending {
+            changed += 1;
+            let id = match self.free_ids.pop() {
+                Some(id) => id,
+                None => {
+                    self.members.push(Vec::new());
+                    self.cyclic.push(false);
+                    self.active.push(false);
+                    (self.members.len() - 1) as u32
+                }
+            };
+            for &v in &member_nodes {
+                self.class_of[v.index()] = id;
+            }
+            self.members[id as usize] = member_nodes;
+            self.cyclic[id as usize] = is_cyclic;
+            self.active[id as usize] = true;
+            new_ids.push(id);
+        }
+
+        // Rebuild class-level edge counters incident to the new classes.
+        let new_set: HashSet<u32> = new_ids.iter().copied().collect();
+        for &id in &new_ids {
+            // Iterate over a snapshot because `class_of` is already final.
+            let members = self.members[id as usize].clone();
+            for v in members {
+                for &w in g.out_neighbors(v) {
+                    let cw = self.class_of(w);
+                    if cw != id {
+                        *self.q_edges.entry((id, cw)).or_insert(0) += 1;
+                    }
+                }
+                for &z in g.in_neighbors(v) {
+                    let cz = self.class_of(z);
+                    if cz != id && !new_set.contains(&cz) {
+                        *self.q_edges.entry((cz, id)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Materializes the current state as a [`ReachCompression`] with a
+    /// freshly built (transitively reduced) compressed graph. Class `i` of
+    /// the result corresponds to the `i`-th active class in id order.
+    pub fn to_compression(&self) -> ReachCompression {
+        // Dense renumbering of active classes.
+        let mut dense: HashMap<u32, u32> = HashMap::new();
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        let mut cyclic: Vec<bool> = Vec::new();
+        for c in 0..self.members.len() as u32 {
+            if self.active[c as usize] {
+                dense.insert(c, members.len() as u32);
+                members.push(self.members[c as usize].clone());
+                cyclic.push(self.cyclic[c as usize]);
+            }
+        }
+        let mut class_of = vec![0u32; self.class_of.len()];
+        for (v, &c) in self.class_of.iter().enumerate() {
+            class_of[v] = dense[&c];
+        }
+
+        // Quotient graph + transitive reduction.
+        let mut quotient = LabeledGraph::with_capacity(members.len());
+        for _ in 0..members.len() {
+            quotient.add_node_with_label("σ");
+        }
+        for &(a, b) in self.q_edges.keys() {
+            quotient.add_edge(NodeId(dense[&a]), NodeId(dense[&b]));
+        }
+        let kept = transitive_reduction(&quotient)
+            .expect("the quotient of the reachability equivalence relation is a DAG");
+        let mut reduced = LabeledGraph::with_capacity(members.len());
+        for _ in 0..members.len() {
+            reduced.add_node_with_label("σ");
+        }
+        for (a, b) in kept {
+            reduced.add_edge(a, b);
+        }
+
+        ReachCompression {
+            graph: reduced,
+            partition: ReachPartition {
+                class_of,
+                members,
+                cyclic,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_r;
+    use qpgc_graph::traversal::bfs_reachable;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node_with_label("X");
+        }
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    /// The incremental result must be identical (as a partition and as a
+    /// reachability oracle) to recompressing the updated graph from scratch.
+    fn assert_matches_batch(mut g: LabeledGraph, batch: UpdateBatch) {
+        let mut inc = IncrementalReach::new(&g);
+        inc.apply(&mut g, &batch);
+
+        let batch_compressed = compress_r(&g);
+        let inc_compressed = inc.to_compression();
+        assert_eq!(
+            inc_compressed.partition.canonical(),
+            batch_compressed.partition.canonical(),
+            "incremental partition diverged from batch recompression"
+        );
+        for v in g.nodes() {
+            for w in g.nodes() {
+                let expected = bfs_reachable(&g, v, w);
+                assert_eq!(inc.query(v, w), expected, "inc query ({v},{w})");
+                assert_eq!(
+                    inc_compressed.query(v, w),
+                    expected,
+                    "materialized query ({v},{w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_insertion_splitting_a_class() {
+        // Diamond: 1 and 2 equivalent; adding 1 -> 4 splits them.
+        let g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(1), NodeId(4));
+        assert_matches_batch(g, batch);
+    }
+
+    #[test]
+    fn single_insertion_merging_classes() {
+        // 0 -> 1, 0 -> 2, 1 -> 3; adding 2 -> 3 makes 1 and 2 equivalent.
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3)]);
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(2), NodeId(3));
+        assert_matches_batch(g, batch);
+    }
+
+    #[test]
+    fn single_deletion_splitting() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(2), NodeId(3));
+        assert_matches_batch(g, batch);
+    }
+
+    #[test]
+    fn insertion_creating_a_cycle() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(3), NodeId(1));
+        assert_matches_batch(g, batch);
+    }
+
+    #[test]
+    fn deletion_breaking_a_cycle() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(2), NodeId(1));
+        assert_matches_batch(g, batch);
+    }
+
+    #[test]
+    fn redundant_insertion_is_detected() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let mut g2 = g.clone();
+        let mut inc = IncrementalReach::new(&g2);
+        let before = inc.to_compression().partition.canonical();
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(0), NodeId(2)); // implied by 0 -> 1 -> 2
+        let stats = inc.apply(&mut g2, &batch);
+        assert_eq!(stats.redundant_dropped, 1);
+        assert_eq!(stats.effective_updates, 0);
+        assert_eq!(inc.to_compression().partition.canonical(), before);
+        // And it still matches the batch result.
+        assert_eq!(
+            inc.to_compression().partition.canonical(),
+            compress_r(&g2).partition.canonical()
+        );
+    }
+
+    #[test]
+    fn noop_batch() {
+        let g = graph(3, &[(0, 1)]);
+        let mut g2 = g.clone();
+        let mut inc = IncrementalReach::new(&g2);
+        let stats = inc.apply(&mut g2, &UpdateBatch::new());
+        assert_eq!(stats, IncStats::default());
+    }
+
+    #[test]
+    fn mixed_batch() {
+        let g = graph(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (2, 5)],
+        );
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(5), NodeId(0)); // creates a big cycle
+        batch.delete(NodeId(0), NodeId(2));
+        batch.insert(NodeId(1), NodeId(5));
+        assert_matches_batch(g, batch);
+    }
+
+    #[test]
+    fn repeated_batches_stay_consistent() {
+        let mut g = graph(
+            7,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 4), (5, 6)],
+        );
+        let mut inc = IncrementalReach::new(&g);
+        let batches: Vec<Vec<(u32, u32, bool)>> = vec![
+            vec![(6, 0, true)],
+            vec![(3, 5, true), (0, 1, false)],
+            vec![(4, 6, true), (6, 0, false)],
+            vec![(2, 3, false), (1, 3, false)],
+        ];
+        for b in batches {
+            let mut batch = UpdateBatch::new();
+            for (u, v, ins) in b {
+                if ins {
+                    batch.insert(NodeId(u), NodeId(v));
+                } else {
+                    batch.delete(NodeId(u), NodeId(v));
+                }
+            }
+            inc.apply(&mut g, &batch);
+            let batch_c = compress_r(&g);
+            assert_eq!(
+                inc.to_compression().partition.canonical(),
+                batch_c.partition.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_incremental_equals_batch() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..30 {
+            let n = rng.gen_range(3..14);
+            let m = rng.gen_range(0..n * 2);
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label("X");
+            }
+            for _ in 0..m {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            let mut batch = UpdateBatch::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let u = NodeId(rng.gen_range(0..n) as u32);
+                let v = NodeId(rng.gen_range(0..n) as u32);
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            let mut g2 = g.clone();
+            let mut inc = IncrementalReach::new(&g2);
+            inc.apply(&mut g2, &batch);
+            let expect = compress_r(&g2);
+            assert_eq!(
+                inc.to_compression().partition.canonical(),
+                expect.partition.canonical(),
+                "case {case} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_edges_stay_in_sync() {
+        let mut g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut inc = IncrementalReach::new(&g);
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(1), NodeId(2));
+        batch.insert(NodeId(0), NodeId(4));
+        inc.apply(&mut g, &batch);
+        // Rebuild from scratch and compare the full reachability oracle.
+        for v in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(inc.query(v, w), bfs_reachable(&g, v, w));
+            }
+        }
+        assert_eq!(inc.class_count(), compress_r(&g).class_count());
+    }
+}

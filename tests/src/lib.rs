@@ -1,0 +1,1 @@
+//! Cross-crate integration tests live in the `tests/` directory of this package.

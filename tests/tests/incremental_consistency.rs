@@ -1,0 +1,118 @@
+//! Property tests for Section 5: incremental maintenance must agree exactly
+//! with recompression from scratch, for arbitrary graphs and arbitrary
+//! update batches, across repeated applications.
+
+use proptest::prelude::*;
+use qpgc::prelude::*;
+use qpgc_pattern::compress::compress_b;
+use qpgc_pattern::inc_match::IncrementalMatch;
+use qpgc_reach::compress::compress_r;
+
+fn arb_graph_and_batches(
+    max_n: usize,
+    batches: usize,
+) -> impl Strategy<Value = (LabeledGraph, Vec<UpdateBatch>)> {
+    (3..=max_n).prop_flat_map(move |n| {
+        let nodes = prop::collection::vec(0..3usize, n);
+        let edges = prop::collection::vec((0..n, 0..n), 0..(2 * n));
+        let batch = prop::collection::vec((0..n, 0..n, prop::bool::ANY), 1..6);
+        let all_batches = prop::collection::vec(batch, 1..=batches);
+        (nodes, edges, all_batches).prop_map(move |(nodes, edges, all_batches)| {
+            const LABELS: [&str; 3] = ["A", "B", "C"];
+            let mut g = LabeledGraph::new();
+            for l in nodes {
+                g.add_node_with_label(LABELS[l]);
+            }
+            for (u, v) in edges {
+                g.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+            let batches = all_batches
+                .into_iter()
+                .map(|b| {
+                    let mut batch = UpdateBatch::new();
+                    for (u, v, ins) in b {
+                        if ins {
+                            batch.insert(NodeId(u as u32), NodeId(v as u32));
+                        } else {
+                            batch.delete(NodeId(u as u32), NodeId(v as u32));
+                        }
+                    }
+                    batch
+                })
+                .collect();
+            (g, batches)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `incRCM`: after every batch the maintained compression equals
+    /// `compressR(G ⊕ ΔG)` and answers every reachability query correctly.
+    #[test]
+    fn incremental_reachability_equals_batch((g, batches) in arb_graph_and_batches(12, 3)) {
+        let mut maintained = MaintainedReachability::new(g.clone());
+        let mut reference = g;
+        for batch in &batches {
+            maintained.apply(batch);
+            batch.normalized(&reference).apply_to(&mut reference);
+            let scratch = compress_r(&reference);
+            prop_assert_eq!(
+                maintained.compression().partition.canonical(),
+                scratch.partition.canonical()
+            );
+            for u in reference.nodes() {
+                for v in reference.nodes() {
+                    prop_assert_eq!(
+                        maintained.answer(&ReachQuery::new(u, v)),
+                        qpgc_graph::traversal::bfs_reachable(&reference, u, v)
+                    );
+                }
+            }
+        }
+    }
+
+    /// `incPCM`: after every batch the maintained bisimulation quotient
+    /// equals `compressB(G ⊕ ΔG)`.
+    #[test]
+    fn incremental_pattern_equals_batch((g, batches) in arb_graph_and_batches(12, 3)) {
+        let mut maintained = MaintainedPattern::new(g.clone());
+        let mut reference = g;
+        for batch in &batches {
+            maintained.apply(batch);
+            batch.normalized(&reference).apply_to(&mut reference);
+            let scratch = compress_b(&reference);
+            prop_assert_eq!(
+                maintained.compression().partition.canonical(),
+                scratch.partition.canonical()
+            );
+        }
+    }
+
+    /// `IncBMatch`: the incrementally maintained match relation equals a
+    /// from-scratch evaluation after every batch.
+    #[test]
+    fn incremental_match_equals_scratch((g, batches) in arb_graph_and_batches(12, 3)) {
+        let mut pattern = Pattern::new();
+        let a = pattern.add_node("A");
+        let b = pattern.add_node("B");
+        let c = pattern.add_node("C");
+        pattern.add_edge(a, b, 2);
+        pattern.add_edge(b, c, 1);
+
+        let mut reference = g.clone();
+        let mut inc = IncrementalMatch::new(&g, pattern.clone());
+        for batch in &batches {
+            let mut g_for_inc = reference.clone();
+            inc.apply(&mut g_for_inc, batch);
+            batch.normalized(&reference).apply_to(&mut reference);
+            let scratch = qpgc_pattern::bounded::bounded_match(&reference, &pattern);
+            match (inc.current(), scratch) {
+                (None, None) => {}
+                (Some(x), Some(y)) => prop_assert_eq!(x.canonical(), y.canonical()),
+                (x, y) => prop_assert!(false, "mismatch: {} vs {}", x.is_some(), y.is_some()),
+            }
+        }
+    }
+}
