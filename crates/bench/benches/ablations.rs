@@ -25,7 +25,9 @@ fn ablation_rank_stratification(c: &mut Criterion) {
     group.sample_size(10);
     let g = pattern_dataset("Youtube", 300, 0).expect("dataset");
     group.bench_function("rank_seeded", |b| b.iter(|| bisimulation_partition(&g)));
-    group.bench_function("label_seeded_only", |b| b.iter(|| reference_bisimulation(&g)));
+    group.bench_function("label_seeded_only", |b| {
+        b.iter(|| reference_bisimulation(&g))
+    });
     group.finish();
 }
 

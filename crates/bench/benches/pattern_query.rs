@@ -23,11 +23,7 @@ fn bench_match(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("Match_on_Gr", format!("({size},{size},3)")),
             &pattern,
-            |b, p| {
-                b.iter(|| {
-                    bounded_match(&pc.graph, p).map(|m| pc.post_process(&m))
-                })
-            },
+            |b, p| b.iter(|| bounded_match(&pc.graph, p).map(|m| pc.post_process(&m))),
         );
     }
     group.finish();

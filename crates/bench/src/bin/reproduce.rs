@@ -38,7 +38,11 @@ fn main() {
                 // experiment is dominated by the run above, so re-time the
                 // rendering-inclusive path for a stable "total" feel.
                 print!("{}", result.render());
-                println!("  [{} rows, rendered in {:?}]", result.rows.len(), t.elapsed());
+                println!(
+                    "  [{} rows, rendered in {:?}]",
+                    result.rows.len(),
+                    t.elapsed()
+                );
                 println!();
             }
             None => {

@@ -122,7 +122,11 @@ mod tests {
             let rcr = row.get("RCr").unwrap();
             let rcaho = row.get("RCaho").unwrap();
             assert!(rcr > 0.0 && rcr <= 1.0, "{}: RCr = {rcr}", row.label);
-            assert!(rcaho > 0.0 && rcaho <= 1.01, "{}: RCaho = {rcaho}", row.label);
+            assert!(
+                rcaho > 0.0 && rcaho <= 1.01,
+                "{}: RCaho = {rcaho}",
+                row.label
+            );
             // compressR must never be worse than the AHO baseline (paper's
             // claim "performs significantly better than AHO").
             assert!(

@@ -180,7 +180,11 @@ mod tests {
         // comparison); allow generous slack for timer noise at tiny scale.
         let res = fig12g(300);
         let total_inc: f64 = res.rows.iter().map(|r| r.get("incPCM (ms)").unwrap()).sum();
-        let total_one: f64 = res.rows.iter().map(|r| r.get("IncBsim (ms)").unwrap()).sum();
+        let total_one: f64 = res
+            .rows
+            .iter()
+            .map(|r| r.get("IncBsim (ms)").unwrap())
+            .sum();
         assert!(
             total_inc <= total_one * 1.5,
             "incPCM {total_inc}ms vs IncBsim {total_one}ms"

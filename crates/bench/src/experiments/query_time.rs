@@ -129,7 +129,14 @@ pub fn fig12d(scale: usize) -> ExperimentResult {
         "fig12d",
         "memory cost (KiB) of G, Gr, 2-hop(G), 2-hop(Gr) (paper: Gr ≤ 8% of G)",
     );
-    for name in ["P2P", "wikiVote", "citHepTh", "socEpinions", "facebook", "NotreDame"] {
+    for name in [
+        "P2P",
+        "wikiVote",
+        "citHepTh",
+        "socEpinions",
+        "facebook",
+        "NotreDame",
+    ] {
         let g = dataset(name, scale, 0).expect("known dataset");
         let rc = compress_r(&g);
         let two_hop_g = TwoHopIndex::build(&g);

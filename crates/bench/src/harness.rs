@@ -32,10 +32,7 @@ impl Row {
 
     /// Looks a cell up by column name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.cells
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.cells.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 }
 

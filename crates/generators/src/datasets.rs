@@ -244,7 +244,10 @@ mod tests {
 
     #[test]
     fn density_tracks_the_original() {
-        for spec in REACHABILITY_DATASETS.iter().filter(|s| s.name != "wikiTalk") {
+        for spec in REACHABILITY_DATASETS
+            .iter()
+            .filter(|s| s.name != "wikiTalk")
+        {
             let g = spec.generate(50, 0);
             let original_density = spec.original_edges as f64 / spec.original_nodes as f64;
             let emulated_density = g.edge_count() as f64 / g.node_count() as f64;

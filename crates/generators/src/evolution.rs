@@ -43,7 +43,11 @@ impl Default for DensificationConfig {
 
 /// Performs one densification iteration: grows the node set by `β` and adds
 /// uniformly random edges until `|E| = |V|^α`. Returns the insertions made.
-pub fn densification_step(g: &mut LabeledGraph, cfg: &DensificationConfig, iteration: u64) -> UpdateBatch {
+pub fn densification_step(
+    g: &mut LabeledGraph,
+    cfg: &DensificationConfig,
+    iteration: u64,
+) -> UpdateBatch {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(iteration));
     let old_nodes = g.node_count();
     let new_nodes = ((old_nodes as f64 * cfg.beta).ceil() as usize).max(old_nodes + 1);
@@ -174,10 +178,14 @@ mod tests {
         let before = g.edge_count();
         let cfg = PowerLawGrowthConfig::default();
         let batch = power_law_growth_step(&mut g, &cfg, 0);
-        assert!(batch.len() > 0);
+        assert!(!batch.is_empty());
         assert!(g.edge_count() > before);
         let expected = (before as f64 * 0.05) as usize;
-        assert!(batch.len() >= expected / 2, "added {} of ~{expected}", batch.len());
+        assert!(
+            batch.len() >= expected / 2,
+            "added {} of ~{expected}",
+            batch.len()
+        );
     }
 
     #[test]
@@ -185,8 +193,7 @@ mod tests {
         let mut g = power_law_graph(&SyntheticConfig::new(400, 2000, 5, 2));
         let mut by_degree: Vec<NodeId> = g.nodes().collect();
         by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)));
-        let hubs: std::collections::HashSet<NodeId> =
-            by_degree[..20].iter().copied().collect();
+        let hubs: std::collections::HashSet<NodeId> = by_degree[..20].iter().copied().collect();
         let cfg = PowerLawGrowthConfig {
             edge_growth_rate: 0.2,
             high_degree_bias: 0.8,

@@ -261,7 +261,11 @@ mod tests {
     fn power_law_graph_has_degree_skew() {
         let g = power_law_graph(&SyntheticConfig::new(1000, 5000, 8, 7));
         let stats = GraphStats::of(&g);
-        assert!(stats.max_in_degree > 20, "hub expected, got {}", stats.max_in_degree);
+        assert!(
+            stats.max_in_degree > 20,
+            "hub expected, got {}",
+            stats.max_in_degree
+        );
         assert!(g.edge_count() > 2000);
     }
 

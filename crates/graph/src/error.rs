@@ -78,14 +78,14 @@ mod tests {
             message: "bad edge".into(),
         };
         assert!(p.to_string().contains("line 4"));
-        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = GraphError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
     }
 
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let io = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = GraphError::from(std::io::Error::other("x"));
         assert!(io.source().is_some());
         assert!(GraphError::NotADag.source().is_none());
     }

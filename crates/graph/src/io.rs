@@ -21,7 +21,12 @@ use crate::ids::NodeId;
 
 /// Writes `g` in the text format to `w`.
 pub fn write_graph<W: Write>(g: &LabeledGraph, mut w: W) -> Result<()> {
-    writeln!(w, "# qpgc graph: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# qpgc graph: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     writeln!(w, "n {}", g.node_count())?;
     for v in g.nodes() {
         let name = g.label_name(v).unwrap_or("_");
@@ -97,10 +102,7 @@ pub fn read_graph<R: Read>(r: R) -> Result<LabeledGraph> {
 
     let node_count = declared.unwrap_or(labels.len()).max(labels.len());
     for i in 0..node_count {
-        let name = labels
-            .get(i)
-            .and_then(|o| o.as_deref())
-            .unwrap_or("_");
+        let name = labels.get(i).and_then(|o| o.as_deref()).unwrap_or("_");
         g.add_node_with_label(name);
     }
     for (u, v) in edges {

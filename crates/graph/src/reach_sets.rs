@@ -66,10 +66,7 @@ impl DagReach {
     ///
     /// Returns [`GraphError::NotADag`] if the graph has a cycle.
     pub fn from_dag_graph(g: &LabeledGraph) -> Result<Self> {
-        Self::from_edges(
-            g.node_count(),
-            g.edges().map(|(u, v)| (u.0, v.0)),
-        )
+        Self::from_edges(g.node_count(), g.edges().map(|(u, v)| (u.0, v.0)))
     }
 
     /// Number of nodes of the DAG.
@@ -138,10 +135,7 @@ impl DagReach {
         };
         for v in order {
             // Split borrows: take v's set out, fold neighbours in, put back.
-            let mut acc = std::mem::replace(
-                &mut sets[v as usize],
-                FixedBitSet::with_capacity(0),
-            );
+            let mut acc = std::mem::replace(&mut sets[v as usize], FixedBitSet::with_capacity(0));
             let neighbors = match dir {
                 Direction::Forward => &self.out[v as usize],
                 Direction::Backward => &self.inn[v as usize],
@@ -353,7 +347,10 @@ mod tests {
         assert_eq!(chunks[0], 0..3);
         assert_eq!(chunks[3], 9..10);
         assert!(d.chunks(100).len() == 1);
-        assert!(DagReach::from_edges(0, vec![]).unwrap().chunks(5).is_empty());
+        assert!(DagReach::from_edges(0, vec![])
+            .unwrap()
+            .chunks(5)
+            .is_empty());
     }
 
     #[test]

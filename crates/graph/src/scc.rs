@@ -76,8 +76,7 @@ impl Condensation {
                     // Done with v: pop and propagate lowlink to parent.
                     call_stack.pop();
                     if let Some(&(parent, _)) = call_stack.last() {
-                        lowlink[parent.index()] =
-                            lowlink[parent.index()].min(lowlink[v.index()]);
+                        lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
                     }
                     if lowlink[v.index()] == index[v.index()] {
                         // v is the root of an SCC.

@@ -43,9 +43,10 @@ pub fn transitive_reduction_with_chunk(
                     continue; // edge target handled by another chunk
                 }
                 // (u, v) is redundant iff some *other* child w of u reaches v.
-                let redundant = dag.out(u).iter().any(|&w| {
-                    w != v && desc[w as usize].contains(vi - cols.start)
-                });
+                let redundant = dag
+                    .out(u)
+                    .iter()
+                    .any(|&w| w != v && desc[w as usize].contains(vi - cols.start));
                 if !redundant {
                     keep.push((NodeId(u), NodeId(v)));
                 }

@@ -33,6 +33,9 @@ impl Update {
     }
 }
 
+/// A plain list of edges, as returned by [`UpdateBatch::split`].
+pub type EdgeList = Vec<(NodeId, NodeId)>;
+
 /// An ordered list of edge updates (`ΔG`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UpdateBatch {
@@ -131,7 +134,7 @@ impl UpdateBatch {
 
     /// Splits the batch into (insertions, deletions) preserving order within
     /// each kind.
-    pub fn split(&self) -> (Vec<(NodeId, NodeId)>, Vec<(NodeId, NodeId)>) {
+    pub fn split(&self) -> (EdgeList, EdgeList) {
         let mut ins = Vec::new();
         let mut del = Vec::new();
         for u in &self.updates {

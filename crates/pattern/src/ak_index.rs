@@ -199,7 +199,10 @@ mod tests {
         //
         // Data: A1 -> B1 -> C and A2 -> B2 -> D. Query: A —(≤2)→ C.
         // True matches for the A query node: {A1} only.
-        let g = graph(&["A", "A", "B", "B", "C", "D"], &[(0, 2), (2, 4), (1, 3), (3, 5)]);
+        let g = graph(
+            &["A", "A", "B", "B", "C", "D"],
+            &[(0, 2), (2, 4), (1, 3), (3, 5)],
+        );
         let idx = ak_index(&g, 1);
         let full = compress_b(&g);
 
@@ -221,7 +224,11 @@ mod tests {
             .flat_map(|&blk| idx.partition.members[blk.index()].clone())
             .collect();
         expanded_ak.sort_unstable();
-        assert_eq!(expanded_ak, vec![NodeId(0), NodeId(1)], "A(1) false positive");
+        assert_eq!(
+            expanded_ak,
+            vec![NodeId(0), NodeId(1)],
+            "A(1) false positive"
+        );
 
         // Full-bisimulation compression keeps A1 and A2 apart and the
         // post-processed answer is exact.

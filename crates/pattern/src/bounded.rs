@@ -49,7 +49,10 @@ pub(crate) fn initial_candidates(g: &LabeledGraph, pattern: &Pattern) -> Option<
 /// Builds the initial label-based candidate sets, allowing empty sets (used
 /// by the incremental algorithm, which tracks per-node fixpoints even when
 /// the overall pattern does not match).
-pub(crate) fn initial_candidates_allow_empty(g: &LabeledGraph, pattern: &Pattern) -> Vec<Vec<NodeId>> {
+pub(crate) fn initial_candidates_allow_empty(
+    g: &LabeledGraph,
+    pattern: &Pattern,
+) -> Vec<Vec<NodeId>> {
     let labels = resolve_labels(pattern, g);
     let by_label = g.nodes_by_label();
     pattern
@@ -189,7 +192,10 @@ mod tests {
 
     #[test]
     fn unbounded_edge_is_reachability() {
-        let g = graph(&["A", "X", "X", "X", "B"], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g = graph(
+            &["A", "X", "X", "X", "B"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        );
         let mut p = Pattern::new();
         let a = p.add_node("A");
         let b = p.add_node("B");
@@ -329,7 +335,10 @@ mod tests {
             sizes.push(size);
         }
         for w in sizes.windows(2) {
-            assert!(w[0] <= w[1], "match must be monotone in the bound: {sizes:?}");
+            assert!(
+                w[0] <= w[1],
+                "match must be monotone in the bound: {sizes:?}"
+            );
         }
         assert!(sizes[3] > sizes[0]);
     }

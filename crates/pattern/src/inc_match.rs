@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn deletion_removes_matches() {
-        let mut g = graph(&["A", "B", "C", "B", "C"], &[(0, 1), (1, 2), (0, 3), (3, 4)]);
+        let mut g = graph(
+            &["A", "B", "C", "B", "C"],
+            &[(0, 1), (1, 2), (0, 3), (3, 4)],
+        );
         let mut inc = IncrementalMatch::new(&g, two_edge_pattern());
         assert!(inc.current().is_some());
         let mut batch = UpdateBatch::new();

@@ -134,7 +134,11 @@ impl IncrementalPattern {
     /// algorithm per unit update. This is the `IncBsim` baseline of
     /// Fig. 12(g): the single-update incremental bisimulation invoked
     /// repeatedly.
-    pub fn apply_one_by_one(&mut self, g: &mut LabeledGraph, batch: &UpdateBatch) -> IncPatternStats {
+    pub fn apply_one_by_one(
+        &mut self,
+        g: &mut LabeledGraph,
+        batch: &UpdateBatch,
+    ) -> IncPatternStats {
         let mut total = IncPatternStats::default();
         for u in batch.updates() {
             let single = UpdateBatch::from_updates(vec![*u]);
@@ -411,7 +415,10 @@ mod tests {
     #[test]
     fn insertion_splits_bisimilar_nodes() {
         // B1 and B2 bisimilar until B1 gets a new child with a fresh label.
-        let g = graph(&["A", "B", "B", "C", "C", "D"], &[(0, 1), (0, 2), (1, 3), (2, 4)]);
+        let g = graph(
+            &["A", "B", "B", "C", "C", "D"],
+            &[(0, 1), (0, 2), (1, 3), (2, 4)],
+        );
         let mut batch = UpdateBatch::new();
         batch.insert(NodeId(1), NodeId(5));
         assert_matches_batch(g, batch);

@@ -57,10 +57,7 @@ pub fn simulation_match(g: &LabeledGraph, pattern: &Pattern) -> Option<MatchRela
             let (u, u2) = (u as usize, u2 as usize);
             let mut retained: Vec<NodeId> = Vec::with_capacity(sim[u].len());
             for &v in &sim[u] {
-                let ok = g
-                    .out_neighbors(v)
-                    .iter()
-                    .any(|&w| member[u2][w.index()]);
+                let ok = g.out_neighbors(v).iter().any(|&w| member[u2][w.index()]);
                 if ok {
                     retained.push(v);
                 } else {

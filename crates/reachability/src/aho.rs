@@ -57,8 +57,8 @@ pub fn aho_reduction(g: &LabeledGraph) -> AhoReduction {
     // 2. Cross-SCC edges: transitively reduce the condensation and keep one
     //    representative original edge per retained condensation edge.
     let scc_graph = cond.to_graph();
-    let kept = transitive_reduction(&scc_graph)
-        .expect("a condensation graph is acyclic by construction");
+    let kept =
+        transitive_reduction(&scc_graph).expect("a condensation graph is acyclic by construction");
     use std::collections::HashSet;
     let keep_set: HashSet<(u32, u32)> = kept.iter().map(|&(a, b)| (a.0, b.0)).collect();
     let mut done: HashSet<(u32, u32)> = HashSet::new();

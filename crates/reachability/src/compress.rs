@@ -49,7 +49,7 @@ impl ReachCompression {
     /// Answers the reachability query `QR(v, w)` posed against the original
     /// graph by evaluating its rewriting on the compressed graph with BFS.
     pub fn query(&self, v: NodeId, w: NodeId) -> bool {
-        self.query_with(v, w, |g, a, b| traversal::bfs_reachable(g, a, b))
+        self.query_with(v, w, traversal::bfs_reachable)
     }
 
     /// Like [`ReachCompression::query`] but lets the caller supply the
@@ -151,7 +151,7 @@ pub(crate) fn build_quotient_graph(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qpgc_graph::traversal::{bidirectional_reachable, bfs_reachable};
+    use qpgc_graph::traversal::{bfs_reachable, bidirectional_reachable};
 
     fn graph(n: usize, edges: &[(u32, u32)]) -> LabeledGraph {
         let mut g = LabeledGraph::new();
@@ -171,11 +171,7 @@ mod tests {
         for v in g.nodes() {
             for w in g.nodes() {
                 let expected = bfs_reachable(g, v, w);
-                assert_eq!(
-                    c.query(v, w),
-                    expected,
-                    "query ({v}, {w}) not preserved"
-                );
+                assert_eq!(c.query(v, w), expected, "query ({v}, {w}) not preserved");
                 assert_eq!(
                     c.query_with(v, w, bidirectional_reachable),
                     expected,

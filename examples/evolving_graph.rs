@@ -9,10 +9,10 @@
 use std::time::Instant;
 
 use qpgc::prelude::*;
+use qpgc::reach_engine::compress::compress_r;
 use qpgc_examples::section;
 use qpgc_generators::synthetic::{citation_graph, SyntheticConfig};
 use qpgc_generators::updates::{delete_batch, insert_batch};
-use qpgc::reach_engine::compress::compress_r;
 
 fn main() {
     let g0 = citation_graph(&SyntheticConfig::new(4000, 16_000, 30, 3));
@@ -47,8 +47,8 @@ fn main() {
         let scratch = compress_r(maintained.graph());
         let batch_time = t.elapsed();
 
-        let identical = scratch.partition.canonical()
-            == maintained.compression().partition.canonical();
+        let identical =
+            scratch.partition.canonical() == maintained.compression().partition.canonical();
         println!(
             "step {step}: {:4} updates | affected {:4} classes | incRCM {:>9.3?} vs compressR {:>9.3?} | identical = {identical}",
             batch.len(),
@@ -56,7 +56,10 @@ fn main() {
             inc_time,
             batch_time,
         );
-        assert!(identical, "incremental maintenance must equal recompression");
+        assert!(
+            identical,
+            "incremental maintenance must equal recompression"
+        );
     }
 
     section("pattern compression, maintained over the same kind of churn");

@@ -28,7 +28,11 @@ fn main() {
     ] {
         g.add_edge(u, v);
     }
-    println!("original graph: |V| = {}, |E| = {}", g.node_count(), g.edge_count());
+    println!(
+        "original graph: |V| = {}, |E| = {}",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // ----------------------------------------------------------------- //
     // 2. Reachability preserving compression (Section 3 of the paper).   //
@@ -42,10 +46,7 @@ fn main() {
         pct(reach.ratio(&g)),
     );
     let q = ReachQuery::new(carol, item);
-    println!(
-        "QR(carol, item) on G  = {}",
-        q.evaluate(&g)
-    );
+    println!("QR(carol, item) on G  = {}", q.evaluate(&g));
     println!(
         "QR(carol, item) on Gr = {}   (same answer, smaller graph)",
         reach.answer(&q)

@@ -113,10 +113,7 @@ fn main() {
         pct(reach.ratio(&g)),
     );
     let q = ReachQuery::new(NodeId(0), customers[customers.len() - 1]);
-    println!(
-        "QR(BSA1, C{k}) = {} (computed on Gr)",
-        reach.answer(&q)
-    );
+    println!("QR(BSA1, C{k}) = {} (computed on Gr)", reach.answer(&q));
 
     // --------------------------------------------------------------- //
     // The network evolves: a new recommendation appears (Example 7).    //

@@ -9,9 +9,9 @@
 use std::time::Instant;
 
 use qpgc::prelude::*;
+use qpgc::reach_engine::two_hop::TwoHopIndex;
 use qpgc_examples::{pct, section};
 use qpgc_generators::datasets::dataset;
-use qpgc::reach_engine::two_hop::TwoHopIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,8 +55,14 @@ fn main() {
     let on_gr: usize = queries.iter().filter(|q| scheme.answer(q)).count();
     let time_gr = t.elapsed();
 
-    println!("BFS on G : {on_g}/{} reachable in {time_g:?}", queries.len());
-    println!("BFS on Gr: {on_gr}/{} reachable in {time_gr:?}", queries.len());
+    println!(
+        "BFS on G : {on_g}/{} reachable in {time_g:?}",
+        queries.len()
+    );
+    println!(
+        "BFS on Gr: {on_gr}/{} reachable in {time_gr:?}",
+        queries.len()
+    );
     assert_eq!(on_g, on_gr, "compression must preserve every answer");
     if time_gr < time_g {
         let saving = 100.0 * (1.0 - time_gr.as_secs_f64() / time_g.as_secs_f64());

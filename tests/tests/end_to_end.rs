@@ -95,12 +95,16 @@ fn maintained_compressions_survive_realistic_churn() {
         // Both maintained compressions equal their batch counterparts.
         assert_eq!(
             reach.compression().partition.canonical(),
-            qpgc_reach::compress::compress_r(&reference).partition.canonical(),
+            qpgc_reach::compress::compress_r(&reference)
+                .partition
+                .canonical(),
             "step {step}: reachability drifted"
         );
         assert_eq!(
             pattern.compression().partition.canonical(),
-            qpgc_pattern::compress::compress_b(&reference).partition.canonical(),
+            qpgc_pattern::compress::compress_b(&reference)
+                .partition
+                .canonical(),
             "step {step}: bisimulation drifted"
         );
     }

@@ -1,0 +1,532 @@
+//! Offline vendored stub of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing API, covering the subset this workspace's integration
+//! tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * integer range strategies (`0..n`, `2..=max`), tuple strategies,
+//! * [`collection::vec`] with exact, half-open, or inclusive size ranges,
+//! * [`bool::ANY`],
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros, and
+//! * [`test_runner::ProptestConfig`] honouring the `PROPTEST_CASES`
+//!   environment variable.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! wires `proptest = { path = "vendor/proptest" }`. Design differences from
+//! upstream, chosen deliberately:
+//!
+//! * **Deterministic by construction.** Case `i` of every test draws from a
+//!   fixed SplitMix64 stream seeded by `i`, so `cargo test` is byte-for-byte
+//!   reproducible with no persistence files. Consequently there is no
+//!   `proptest-regressions/` directory to manage (the repo still gitignores
+//!   it, so a future upgrade to real proptest cannot accidentally commit
+//!   failure seeds without a decision).
+//! * **No shrinking.** A failing case panics immediately with the case
+//!   number; rerunning reproduces it exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type `Value`, mirroring
+    /// `proptest::strategy::Strategy` (minus shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and draws
+        /// from it — the standard way to make sizes and contents covary.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields clones of one value, mirroring
+    /// `proptest::strategy::Just`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    // Wrapping: for signed types the offset may exceed the
+                    // positive half of the domain; the wrap-around still
+                    // lands inside [start, end).
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        return start.wrapping_add(rng.next_u64() as $ty);
+                    }
+                    start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification for [`vec`]: an exact length, `lo..hi`, or
+    /// `lo..=hi`, mirroring `proptest::collection::SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`, mirroring `proptest::bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic RNG driving each test case.
+
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The case count actually used: `PROPTEST_CASES` (if set and
+        /// parseable) overrides the in-source value, exactly like upstream
+        /// proptest, so CI can dial effort up or down without edits.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v
+                    .trim()
+                    .parse()
+                    .map(|n: u32| n.max(1))
+                    .unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    /// Deterministic per-case RNG, backed by the vendored `rand` stub
+    /// (upstream proptest likewise builds on `rand`), so the uniform
+    /// sampling logic lives in exactly one place.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// The fixed generator for case number `case` of a property —
+        /// deterministic across runs and platforms.
+        pub fn for_case(case: u64) -> Self {
+            use rand::SeedableRng;
+            // XOR with a fixed tag so case 0 does not collide with other
+            // seed-0 streams in the workspace.
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(case ^ 0x51AF_9E3C_0DD5_A1B7),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.inner)
+        }
+
+        /// Uniform value in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            rand::Rng::gen_range(&mut self.inner, 0..span)
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias used as `prop::collection::vec(..)` etc.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares deterministic property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item becomes a `#[test]`
+/// (the attribute is written by the caller, as with upstream proptest) that
+/// runs the body once per case with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.resolved_cases();
+            for case in 0..u64::from(cases) {
+                let mut rng = $crate::test_runner::TestRng::for_case(case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let run = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(message) = run() {
+                    panic!("property failed at case {case}: {message}");
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// `assert!` for property bodies, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let x = (3..14usize).generate(&mut rng);
+            assert!((3..14).contains(&x));
+            let y = (1u32..=3).generate(&mut rng);
+            assert!((1..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_specs() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..200 {
+            assert_eq!(
+                prop::collection::vec(0..5usize, 7).generate(&mut rng).len(),
+                7
+            );
+            let v = prop::collection::vec(0..5usize, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let w = prop::collection::vec(0..5usize, 2..=3).generate(&mut rng);
+            assert!((2..=3).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (1..5usize)
+            .prop_flat_map(|n| prop::collection::vec(0..10usize, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn wide_signed_ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(4);
+        for _ in 0..1000 {
+            let x = (i32::MIN..=i32::MAX).generate(&mut rng);
+            let _ = x; // any value is in bounds; must not overflow-panic
+            let y = (i64::MIN..0).generate(&mut rng);
+            assert!(y < 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let strat = prop::collection::vec((0..100usize, prop::bool::ANY), 0..20);
+        let a = strat.generate(&mut TestRng::for_case(9));
+        let b = strat.generate(&mut TestRng::for_case(9));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(x in 0..50usize, flip in prop::bool::ANY) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(flip, flip);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        #[test]
+        fn tuple_patterns_bind((a, b) in (0..10usize, 0..10usize)) {
+            prop_assert!(a < 10 && b < 10);
+        }
+    }
+}
