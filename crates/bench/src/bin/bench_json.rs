@@ -1,0 +1,56 @@
+//! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
+//!
+//! ```text
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_2.json
+//! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
+//! ```
+//!
+//! Unlike `reproduce`, the default scale here is **1** (full citHepTh-scale,
+//! ≈28k nodes) because the snapshot exists to track the perf trajectory at a
+//! meaningful size; set `QPGC_SCALE` to shrink it (CI smoke uses 500).
+
+use qpgc_bench::perf::perf_snapshot;
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; usage: bench_json [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scale = std::env::var("QPGC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1);
+
+    eprintln!("# perf snapshot at scale 1/{scale} (QPGC_SCALE to change)");
+    let snap = perf_snapshot(scale);
+    for (name, ms) in &snap.phases_ms {
+        eprintln!("  {name:>16}: {ms:>10.3} ms");
+    }
+    eprintln!("  bisim speedup (baseline/csr): {:.2}x", snap.bisim_speedup);
+
+    std::fs::write(&out_path, snap.to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

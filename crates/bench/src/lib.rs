@@ -26,5 +26,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{scale_from_env, ExperimentResult, Row};
+pub use perf::{perf_snapshot, PerfSnapshot};

@@ -1,0 +1,259 @@
+//! Machine-readable perf snapshots (`BENCH_2.json`).
+//!
+//! From this PR onward the perf trajectory of the hot analysis paths is
+//! recorded as JSON, one file per milestone (`BENCH_<n>.json` at the repo
+//! root), so regressions and wins are diffable without re-reading PR
+//! descriptions. The snapshot times every phase of the compression pipeline
+//! on the citHepTh-scale emulated citation graph:
+//!
+//! * `build` — dataset generation (bulk sorted-dedup edge loading),
+//! * `freeze` — [`LabeledGraph::freeze`] into the CSR snapshot,
+//! * `bisim_baseline` — the pre-CSR per-round hash-table bisimulation,
+//! * `bisim_csr` — the allocation-free worklist refinement over CSR,
+//! * `compress_r` / `compress_b` — the two compression schemes over CSR,
+//! * `query_eval` — 300 rewritten reachability queries answered on `Gr`.
+//!
+//! It also records, for every Table-1 dataset emulation, the heap footprint
+//! of the mutable graph versus its CSR snapshot — the CSR number must be
+//! strictly smaller on every dataset.
+//!
+//! Produce a snapshot with:
+//!
+//! ```text
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_2.json
+//! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json   # CI smoke
+//! ```
+//!
+//! [`LabeledGraph::freeze`]: qpgc_graph::LabeledGraph::freeze
+
+use std::time::Instant;
+
+use qpgc_generators::datasets::{dataset, REACHABILITY_DATASETS};
+use qpgc_graph::traversal::bfs_reachable;
+use qpgc_pattern::bisim::{bisimulation_partition_baseline, bisimulation_partition_csr};
+use qpgc_pattern::compress::compress_b_csr;
+use qpgc_reach::compress::compress_r_csr;
+
+use crate::harness::random_pairs;
+
+/// Heap footprint of one dataset emulation in both representations.
+#[derive(Clone, Debug)]
+pub struct HeapRow {
+    /// Dataset name (Table 1).
+    pub name: String,
+    /// Node count of the emulation.
+    pub nodes: usize,
+    /// Edge count of the emulation.
+    pub edges: usize,
+    /// `LabeledGraph::heap_bytes()`.
+    pub labeled_bytes: usize,
+    /// `CsrGraph::heap_bytes()` of the frozen snapshot.
+    pub csr_bytes: usize,
+}
+
+/// One perf snapshot: per-phase wall-clock on the citHepTh-scale graph plus
+/// the per-dataset heap comparison.
+#[derive(Clone, Debug)]
+pub struct PerfSnapshot {
+    /// Dataset scale divisor (1 = original citHepTh size, ≈28k nodes).
+    pub scale: usize,
+    /// Phase-timing dataset name.
+    pub dataset: String,
+    /// Node count of the timed graph.
+    pub nodes: usize,
+    /// Edge count of the timed graph.
+    pub edges: usize,
+    /// `(phase name, milliseconds)` in pipeline order.
+    pub phases_ms: Vec<(String, f64)>,
+    /// `bisim_baseline / bisim_csr` wall-clock ratio (the ≥2× criterion).
+    pub bisim_speedup: f64,
+    /// Scale divisor the heap rows were generated at (`scale.max(10)` — the
+    /// multi-million-node emulations stay affordable at full scale).
+    pub heap_scale: usize,
+    /// Heap comparison rows, one per Table-1 dataset.
+    pub heap: Vec<HeapRow>,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs the snapshot at the given dataset scale (`1` = full citHepTh-scale,
+/// the configuration recorded in the committed `BENCH_2.json`; CI smoke
+/// runs use a large divisor). The heap sweep uses `scale.max(10)` so the
+/// multi-million-node emulations stay affordable at full scale.
+pub fn perf_snapshot(scale: usize) -> PerfSnapshot {
+    let mut phases: Vec<(String, f64)> = Vec::new();
+
+    let t = Instant::now();
+    let g = dataset("citHepTh", scale, 0).expect("known dataset");
+    phases.push(("build".into(), ms(t)));
+
+    let t = Instant::now();
+    let csr = g.freeze();
+    phases.push(("freeze".into(), ms(t)));
+
+    // Interleaved best-of-5 for the two bisimulation variants: the speedup
+    // ratio is the acceptance-tracked number, single runs are noisy on
+    // shared boxes, and interleaving keeps a load spike from penalizing
+    // only one side.
+    let mut bisim_baseline_ms = f64::INFINITY;
+    let mut bisim_csr_ms = f64::INFINITY;
+    let mut baseline = bisimulation_partition_baseline(&g);
+    let mut fast = bisimulation_partition_csr(&csr);
+    for _ in 0..5 {
+        let t = Instant::now();
+        baseline = bisimulation_partition_baseline(&g);
+        bisim_baseline_ms = bisim_baseline_ms.min(ms(t));
+        let t = Instant::now();
+        fast = bisimulation_partition_csr(&csr);
+        bisim_csr_ms = bisim_csr_ms.min(ms(t));
+    }
+    phases.push(("bisim_baseline".into(), bisim_baseline_ms));
+    phases.push(("bisim_csr".into(), bisim_csr_ms));
+    assert_eq!(
+        baseline.class_count(),
+        fast.class_count(),
+        "CSR and baseline bisimulation disagree"
+    );
+
+    let t = Instant::now();
+    let rc = compress_r_csr(&csr);
+    phases.push(("compress_r".into(), ms(t)));
+
+    let t = Instant::now();
+    let _pc = compress_b_csr(&csr);
+    phases.push(("compress_b".into(), ms(t)));
+
+    let pairs = random_pairs(&g, 300, 42);
+    let t = Instant::now();
+    let mut hits = 0usize;
+    for &(a, b) in &pairs {
+        if rc.query_with(a, b, bfs_reachable) {
+            hits += 1;
+        }
+    }
+    let _ = hits;
+    phases.push(("query_eval".into(), ms(t)));
+
+    let heap_scale = scale.max(10);
+    let heap = REACHABILITY_DATASETS
+        .iter()
+        .map(|spec| {
+            let g = spec.generate(heap_scale, 0);
+            let csr = g.freeze();
+            HeapRow {
+                name: spec.name.to_string(),
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+                labeled_bytes: g.heap_bytes(),
+                csr_bytes: csr.heap_bytes(),
+            }
+        })
+        .collect();
+
+    PerfSnapshot {
+        scale,
+        dataset: "citHepTh".into(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        phases_ms: phases,
+        bisim_speedup: bisim_baseline_ms / bisim_csr_ms.max(1e-9),
+        heap_scale,
+        heap,
+    }
+}
+
+impl PerfSnapshot {
+    /// Serializes the snapshot as pretty-printed JSON (hand-rolled — the
+    /// container has no serde; all strings involved are plain ASCII
+    /// identifiers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"qpgc-perf-snapshot-v1\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("  \"edges\": {},\n", self.edges));
+        out.push_str("  \"phases_ms\": {\n");
+        for (i, (name, v)) in self.phases_ms.iter().enumerate() {
+            let comma = if i + 1 == self.phases_ms.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"bisim_speedup\": {:.3},\n",
+            self.bisim_speedup
+        ));
+        out.push_str(&format!("  \"heap_scale\": {},\n", self.heap_scale));
+        out.push_str("  \"heap_bytes\": [\n");
+        for (i, row) in self.heap.iter().enumerate() {
+            let comma = if i + 1 == self.heap.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, \"labeled\": {}, \"csr\": {}}}{comma}\n",
+                row.name, row.nodes, row.edges, row.labeled_bytes, row.csr_bytes
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One shared tiny-scale snapshot run covers the phase list, the JSON
+    // shape, and the heap invariant — the pipeline is the expensive part.
+    #[test]
+    fn snapshot_runs_serializes_and_csr_heap_is_strictly_smaller() {
+        let snap = perf_snapshot(400);
+        assert_eq!(snap.dataset, "citHepTh");
+        assert!(snap.nodes >= 50);
+        let names: Vec<&str> = snap.phases_ms.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "build",
+                "freeze",
+                "bisim_baseline",
+                "bisim_csr",
+                "compress_r",
+                "compress_b",
+                "query_eval"
+            ]
+        );
+        assert!(snap.phases_ms.iter().all(|&(_, v)| v >= 0.0));
+        assert!(snap.bisim_speedup > 0.0);
+        assert_eq!(snap.heap_scale, 400);
+        let json = snap.to_json();
+        for key in [
+            "\"schema\"",
+            "\"phases_ms\"",
+            "\"bisim_csr\"",
+            "\"bisim_speedup\"",
+            "\"heap_scale\"",
+            "\"heap_bytes\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The acceptance-tracked heap invariant: CSR strictly smaller than
+        // the mutable representation on every Table-1 dataset.
+        assert_eq!(snap.heap.len(), REACHABILITY_DATASETS.len());
+        for row in &snap.heap {
+            assert!(
+                row.csr_bytes < row.labeled_bytes,
+                "{}: csr {} >= labeled {}",
+                row.name,
+                row.csr_bytes,
+                row.labeled_bytes
+            );
+        }
+    }
+}

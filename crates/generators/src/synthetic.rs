@@ -9,9 +9,47 @@
 //! [`web_graph`] (hierarchical hosts with a bow-tie core), and
 //! [`citation_graph`] (time-ordered near-DAG).
 
+use std::collections::HashSet;
+
 use qpgc_graph::{LabeledGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Edge accumulator for the generators: O(1) expected duplicate detection
+/// while drawing (so the accept/reject decisions — and therefore the RNG
+/// stream — are identical to inserting into a graph one edge at a time),
+/// followed by one bulk sorted-dedup insert via
+/// [`LabeledGraph::extend_edges`]. This keeps dataset construction at
+/// `O(m log m)` instead of the `O(m·d)` per-insert duplicate scans of
+/// repeated `add_edge` calls.
+#[derive(Default)]
+struct EdgeAcc {
+    seen: HashSet<(u32, u32)>,
+}
+
+impl EdgeAcc {
+    fn with_capacity(m: usize) -> Self {
+        EdgeAcc {
+            seen: HashSet::with_capacity(m),
+        }
+    }
+
+    /// Records the edge; `true` if it was new (same contract as
+    /// `LabeledGraph::add_edge`).
+    fn insert(&mut self, u: u32, v: u32) -> bool {
+        self.seen.insert((u, v))
+    }
+
+    fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Bulk-inserts everything accumulated into `g`. `extend_edges` sorts
+    /// the batch, so the set's iteration order is irrelevant to the result.
+    fn apply(self, g: &mut LabeledGraph) {
+        g.extend_edges(self.seen.into_iter().map(|(u, v)| (NodeId(u), NodeId(v))));
+    }
+}
 
 /// Parameters shared by the synthetic generators.
 #[derive(Clone, Debug)]
@@ -65,13 +103,15 @@ pub fn random_graph(cfg: &SyntheticConfig) -> LabeledGraph {
     }
     let max_edges = cfg.nodes * cfg.nodes;
     let target = cfg.edges.min(max_edges);
+    let mut acc = EdgeAcc::with_capacity(target);
     let mut attempts = 0usize;
-    while g.edge_count() < target && attempts < target * 20 {
+    while acc.len() < target && attempts < target * 20 {
         let u = rng.gen_range(0..cfg.nodes) as u32;
         let v = rng.gen_range(0..cfg.nodes) as u32;
-        g.add_edge(NodeId(u), NodeId(v));
+        acc.insert(u, v);
         attempts += 1;
     }
+    acc.apply(&mut g);
     g
 }
 
@@ -92,6 +132,7 @@ pub fn power_law_graph(cfg: &SyntheticConfig) -> LabeledGraph {
         return g;
     }
     let m = (cfg.edges / cfg.nodes.max(1)).max(1);
+    let mut acc = EdgeAcc::with_capacity(cfg.edges);
     // Attachment pool: node ids repeated once per incident edge (+1 baseline).
     let mut pool: Vec<u32> = (0..cfg.nodes as u32).collect();
     for v in 1..cfg.nodes {
@@ -101,7 +142,7 @@ pub fn power_law_graph(cfg: &SyntheticConfig) -> LabeledGraph {
         let lurker = rng.gen_bool(0.3);
         let budget = if lurker { 1 } else { m };
         for _ in 0..budget {
-            if g.edge_count() >= cfg.edges {
+            if acc.len() >= cfg.edges {
                 break;
             }
             let idx = rng.gen_range(0..pool.len());
@@ -109,11 +150,11 @@ pub fn power_law_graph(cfg: &SyntheticConfig) -> LabeledGraph {
             if target >= v {
                 target = rng.gen_range(0..v);
             }
-            if g.add_edge(NodeId(v), NodeId(target)) {
+            if acc.insert(v, target) {
                 pool.push(target);
             }
             // Reciprocity: some social links are mutual (never for lurkers).
-            if !lurker && rng.gen_bool(0.15) && g.add_edge(NodeId(target), NodeId(v)) {
+            if !lurker && rng.gen_bool(0.15) && acc.insert(target, v) {
                 pool.push(v);
             }
         }
@@ -121,14 +162,15 @@ pub fn power_law_graph(cfg: &SyntheticConfig) -> LabeledGraph {
     // Top up to the requested edge count with preferential edges from
     // non-lurker nodes.
     let mut attempts = 0;
-    while g.edge_count() < cfg.edges && attempts < cfg.edges * 10 {
+    while acc.len() < cfg.edges && attempts < cfg.edges * 10 {
         attempts += 1;
         let v = rng.gen_range(1..cfg.nodes) as u32;
         let target = pool[rng.gen_range(0..pool.len())];
-        if target != v && g.add_edge(NodeId(v), NodeId(target)) {
+        if target != v && acc.insert(v, target) {
             pool.push(target);
         }
     }
+    acc.apply(&mut g);
     g
 }
 
@@ -146,20 +188,21 @@ pub fn web_graph(cfg: &SyntheticConfig) -> LabeledGraph {
     let n = cfg.nodes;
     let hosts = (n / 50).max(1);
     let core = (n / 20).max(2).min(n);
+    let mut acc = EdgeAcc::with_capacity(cfg.edges);
     // Tree backbone inside each host: node i points to its "parent".
     for i in 1..n {
         let host = i % hosts;
         let parent = if i > hosts { i - hosts } else { host };
-        g.add_edge(NodeId(i as u32), NodeId(parent as u32));
+        acc.insert(i as u32, parent as u32);
     }
     // Core hub pages link to each other densely.
     for _ in 0..core * 3 {
         let u = rng.gen_range(0..core) as u32;
         let v = rng.gen_range(0..core) as u32;
-        g.add_edge(NodeId(u), NodeId(v));
+        acc.insert(u, v);
     }
     // Remaining edges: mostly downward within a host, some cross-host.
-    while g.edge_count() < cfg.edges {
+    while acc.len() < cfg.edges {
         let u = rng.gen_range(0..n) as u32;
         let v = if rng.gen_bool(0.7) {
             // within-host link
@@ -169,13 +212,14 @@ pub fn web_graph(cfg: &SyntheticConfig) -> LabeledGraph {
         } else {
             rng.gen_range(0..n) as u32
         };
-        g.add_edge(NodeId(u), NodeId(v));
-        if g.edge_count() + n < cfg.edges && rng.gen_bool(0.05) {
+        acc.insert(u, v);
+        if acc.len() + n < cfg.edges && rng.gen_bool(0.05) {
             // occasional backlink to a hub
             let hub = rng.gen_range(0..core) as u32;
-            g.add_edge(NodeId(v), NodeId(hub));
+            acc.insert(v, hub);
         }
     }
+    acc.apply(&mut g);
     g
 }
 
@@ -191,10 +235,11 @@ pub fn citation_graph(cfg: &SyntheticConfig) -> LabeledGraph {
         return g;
     }
     let m = (cfg.edges / cfg.nodes.max(1)).max(1);
+    let mut acc = EdgeAcc::with_capacity(cfg.edges);
     let mut pool: Vec<u32> = vec![0];
     for v in 1..cfg.nodes {
         for _ in 0..m {
-            if g.edge_count() >= cfg.edges {
+            if acc.len() >= cfg.edges {
                 break;
             }
             let cited = if rng.gen_bool(0.8) {
@@ -203,12 +248,13 @@ pub fn citation_graph(cfg: &SyntheticConfig) -> LabeledGraph {
                 rng.gen_range(0..v) as u32
             };
             let cited = cited.min(v as u32 - 1);
-            if g.add_edge(NodeId(v as u32), NodeId(cited)) {
+            if acc.insert(v as u32, cited) {
                 pool.push(cited);
             }
         }
         pool.push(v as u32);
     }
+    acc.apply(&mut g);
     g
 }
 

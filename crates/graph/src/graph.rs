@@ -9,8 +9,10 @@
 
 use std::collections::HashMap;
 
+use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
 use crate::ids::{Label, LabelInterner, NodeId};
+use crate::view::GraphView;
 
 /// A mutable labeled directed graph.
 ///
@@ -66,6 +68,19 @@ impl LabeledGraph {
     /// `true` when the graph has no nodes.
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
+    }
+
+    /// Builds an edgeless graph from a label vector and the interner the
+    /// labels were interned by (used when thawing a CSR snapshot).
+    pub(crate) fn from_labels(labels: Vec<Label>, interner: LabelInterner) -> Self {
+        let n = labels.len();
+        LabeledGraph {
+            labels,
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            edge_count: 0,
+            interner,
+        }
     }
 
     /// Adds a node with an already-interned label and returns its id.
@@ -157,6 +172,55 @@ impl LabeledGraph {
         self.inn[v.index()].push(u);
         self.edge_count += 1;
         true
+    }
+
+    /// Bulk edge insertion: adds every edge of `edges` (duplicates — within
+    /// the batch or against edges already present — are dropped) and returns
+    /// the number of edges actually inserted.
+    ///
+    /// Unlike repeated [`LabeledGraph::add_edge`] calls, which pay an
+    /// `O(deg)` duplicate scan per insert, this sorts and deduplicates the
+    /// union of old and new edges in `O((m + k) log (m + k))` — the right
+    /// path for loaders and generators. Afterwards every adjacency list is
+    /// sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of bounds.
+    pub fn extend_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> usize {
+        let mut all: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        for &(u, v) in &all {
+            assert!(u.index() < self.node_count(), "source {u} out of bounds");
+            assert!(v.index() < self.node_count(), "target {v} out of bounds");
+        }
+        if all.is_empty() {
+            return 0;
+        }
+        let before = self.edge_count;
+        for (u, outs) in self.out.iter().enumerate() {
+            all.extend(outs.iter().map(|&v| (NodeId::new(u), v)));
+        }
+        all.sort_unstable();
+        all.dedup();
+        for list in &mut self.out {
+            list.clear();
+        }
+        for list in &mut self.inn {
+            list.clear();
+        }
+        for &(u, v) in &all {
+            self.out[u.index()].push(v);
+            self.inn[v.index()].push(u);
+        }
+        self.edge_count = all.len();
+        self.edge_count - before
+    }
+
+    /// Freezes the graph into an immutable [`CsrGraph`] snapshot for the
+    /// read-only batch algorithms. See the [`crate::csr`] module docs for
+    /// when to freeze versus when to keep mutating.
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_graph(self)
     }
 
     /// Removes the directed edge `(u, v)`.
@@ -266,6 +330,40 @@ impl LabeledGraph {
         // Preserve the dense-id invariant; nothing else to fix up.
         g.edge_count = self.edge_count;
         g
+    }
+}
+
+impl GraphView for LabeledGraph {
+    fn node_count(&self) -> usize {
+        LabeledGraph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        LabeledGraph::edge_count(self)
+    }
+
+    fn label(&self, v: NodeId) -> Label {
+        LabeledGraph::label(self, v)
+    }
+
+    fn label_name(&self, v: NodeId) -> Option<&str> {
+        LabeledGraph::label_name(self, v)
+    }
+
+    fn lookup_label(&self, name: &str) -> Option<Label> {
+        self.interner.get(name)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        LabeledGraph::out_neighbors(self, v)
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        LabeledGraph::in_neighbors(self, v)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        LabeledGraph::has_edge(self, u, v)
     }
 }
 
@@ -467,6 +565,43 @@ mod tests {
     fn heap_bytes_nonzero() {
         let (g, _) = diamond();
         assert!(g.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn extend_edges_dedups_against_batch_and_existing() {
+        let (mut g, n) = diamond();
+        let inserted = g.extend_edges(vec![
+            (n[0], n[1]), // already present
+            (n[3], n[0]), // new
+            (n[3], n[0]), // duplicate inside the batch
+            (n[1], n[2]), // new
+        ]);
+        assert_eq!(inserted, 2);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(n[3], n[0]));
+        assert!(g.has_edge(n[1], n[2]));
+        // Adjacency is sorted after a bulk insert.
+        assert_eq!(g.out_neighbors(n[0]), &[n[1], n[2]]);
+        assert_eq!(g.in_neighbors(n[0]), &[n[3]]);
+        // Empty batch is a no-op.
+        assert_eq!(g.extend_edges(std::iter::empty()), 0);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn extend_edges_rejects_out_of_bounds() {
+        let (mut g, n) = diamond();
+        g.extend_edges(vec![(n[0], NodeId(99))]);
+    }
+
+    #[test]
+    fn freeze_matches_graph() {
+        let (g, n) = diamond();
+        let csr = g.freeze();
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        assert_eq!(csr.label(n[1]), g.label(n[1]));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   interned node labels, forward and reverse adjacency, and edge-level
 //!   updates (the unit of change in the paper's incremental maintenance).
 //! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot for
-//!   cache-friendly read-mostly algorithms.
+//!   cache-friendly read-mostly algorithms, built by [`LabeledGraph::freeze`]
+//!   or bulk-loaded with [`CsrGraph::from_edges`] (see the [`csr`] module
+//!   docs for when to freeze versus when to stay mutable).
+//! * [`view::GraphView`] — the read-only trait both representations
+//!   implement; every batch algorithm below is generic over it.
 //! * [`traversal`] — BFS, DFS, bidirectional BFS and bounded-depth BFS, the
 //!   reachability-query evaluation algorithms used in the paper's Exp-2.
 //! * [`scc`] — Tarjan strongly connected components and the condensation
@@ -58,6 +62,7 @@ pub mod stats;
 pub mod transitive;
 pub mod traversal;
 pub mod update;
+pub mod view;
 
 pub use bitset::FixedBitSet;
 pub use csr::CsrGraph;
@@ -67,3 +72,4 @@ pub use ids::{Label, NodeId};
 pub use scc::Condensation;
 pub use stats::GraphStats;
 pub use update::{Update, UpdateBatch};
+pub use view::GraphView;

@@ -20,8 +20,8 @@
 //! The **well-founded set** `WF` is the set of nodes that cannot reach any
 //! cycle; `NWF = V \ WF`.
 
-use crate::graph::LabeledGraph;
 use crate::scc::Condensation;
+use crate::view::GraphView;
 
 /// A bisimulation rank value: either −∞ or a finite non-negative integer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -54,7 +54,7 @@ pub struct TopoRanks {
 }
 
 /// Computes the topological rank `r(v)` of every node of `g`.
-pub fn topological_ranks(g: &LabeledGraph, cond: &Condensation) -> TopoRanks {
+pub fn topological_ranks<G: GraphView>(g: &G, cond: &Condensation) -> TopoRanks {
     let c = cond.component_count();
     // Process components in topological order of the condensation *reversed*
     // (sinks first), accumulating max(child rank) + 1.
@@ -118,12 +118,20 @@ impl BisimRanks {
 }
 
 /// Computes `rb(v)` and the WF/NWF split for every node of `g`.
-pub fn bisim_ranks(g: &LabeledGraph, cond: &Condensation) -> BisimRanks {
+pub fn bisim_ranks<G: GraphView>(g: &G, cond: &Condensation) -> BisimRanks {
     let c = cond.component_count();
     let n = g.node_count();
 
-    // A component is "cyclic" if it contains a cycle.
-    let cyclic: Vec<bool> = (0..c as u32).map(|cu| cond.is_cyclic(cu, g)).collect();
+    // A component is "cyclic" if it contains a cycle; a component "has
+    // children" if any member has an out-edge. Both are computed in
+    // sequential sweeps (per-component member probes are cache-hostile).
+    let cyclic = cond.cyclic_flags(g);
+    let mut comp_has_children = vec![false; c];
+    for v in g.nodes() {
+        if g.out_degree(v) > 0 {
+            comp_has_children[cond.component_of(v) as usize] = true;
+        }
+    }
 
     // WF: nodes that cannot reach any cycle. Compute per component, children
     // first (increasing Tarjan id).
@@ -145,8 +153,7 @@ pub fn bisim_ranks(g: &LabeledGraph, cond: &Condensation) -> BisimRanks {
     let mut comp_rank = vec![BisimRank::Finite(0); c];
     for cu in 0..c {
         let outs = cond.scc_out(cu as u32);
-        let members_have_children = cond.members(cu as u32).iter().any(|&v| g.out_degree(v) > 0);
-        if !members_have_children {
+        if !comp_has_children[cu] {
             // True leaf (also acyclic by construction).
             comp_rank[cu] = BisimRank::Finite(0);
             continue;
@@ -195,6 +202,7 @@ pub fn bisim_ranks(g: &LabeledGraph, cond: &Condensation) -> BisimRanks {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::LabeledGraph;
 
     fn ranks_of(g: &LabeledGraph) -> (TopoRanks, BisimRanks) {
         let cond = Condensation::of(g);

@@ -11,77 +11,103 @@
 use std::ops::Range;
 
 use crate::bitset::FixedBitSet;
+use crate::csr::csr_from_grouped;
 use crate::error::{GraphError, Result};
-use crate::graph::LabeledGraph;
 use crate::scc::Condensation;
+use crate::view::GraphView;
 
 /// Default number of bit-set columns processed per chunk.
 pub const DEFAULT_CHUNK: usize = 4096;
 
-/// A DAG prepared for reachability-set sweeps: out/in adjacency plus a
-/// topological order.
+/// A DAG prepared for reachability-set sweeps, stored in compressed sparse
+/// row form (contiguous offset/target arrays in both directions) plus a
+/// topological order — the chunked closure sweeps below are linear scans
+/// over these slices.
 #[derive(Clone, Debug)]
 pub struct DagReach {
-    out: Vec<Vec<u32>>,
-    inn: Vec<Vec<u32>>,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
     /// Node indices in topological order (sources first).
     topo: Vec<u32>,
 }
 
 impl DagReach {
-    /// Builds a `DagReach` from an explicit edge list over `n` nodes.
+    /// Builds a `DagReach` from an explicit edge list over `n` nodes; the
+    /// list is sorted and deduplicated, so duplicate edges are harmless.
     ///
     /// Returns [`GraphError::NotADag`] if the edges contain a cycle
     /// (self-loops included).
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Result<Self> {
-        let mut out = vec![Vec::new(); n];
-        let mut inn = vec![Vec::new(); n];
-        for (u, v) in edges {
-            out[u as usize].push(v);
-            inn[v as usize].push(u);
-        }
-        let topo = kahn_topological_order(&out, &inn)?;
-        Ok(DagReach { out, inn, topo })
+        let mut list: Vec<(u32, u32)> = edges.into_iter().collect();
+        list.sort_unstable();
+        list.dedup();
+        let (out_offsets, out_targets, in_offsets, in_targets) = csr_from_grouped(n, &list);
+        let mut dag = DagReach {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            topo: Vec::new(),
+        };
+        dag.topo = kahn_topological_order(&dag)?;
+        Ok(dag)
     }
 
     /// Builds a `DagReach` over the condensation DAG of a graph. Component
     /// `i` of the condensation becomes node `i`.
     pub fn from_condensation(cond: &Condensation) -> Self {
         let n = cond.component_count();
-        let mut out = vec![Vec::new(); n];
-        let mut inn = vec![Vec::new(); n];
+        let mut list: Vec<(u32, u32)> = Vec::with_capacity(cond.edge_count());
         for cu in 0..n as u32 {
             for &cw in cond.scc_out(cu) {
-                out[cu as usize].push(cw);
-                inn[cw as usize].push(cu);
+                list.push((cu, cw));
             }
         }
+        list.sort_unstable();
+        let (out_offsets, out_targets, in_offsets, in_targets) = csr_from_grouped(n, &list);
         // Tarjan ids are a reverse topological order; sources have the
         // highest ids.
         let topo: Vec<u32> = (0..n as u32).rev().collect();
-        DagReach { out, inn, topo }
+        DagReach {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            topo,
+        }
     }
 
-    /// Builds a `DagReach` from a graph that is assumed acyclic.
+    /// Builds a `DagReach` from a graph (any [`GraphView`]) that is assumed
+    /// acyclic.
     ///
     /// Returns [`GraphError::NotADag`] if the graph has a cycle.
-    pub fn from_dag_graph(g: &LabeledGraph) -> Result<Self> {
-        Self::from_edges(g.node_count(), g.edges().map(|(u, v)| (u.0, v.0)))
+    pub fn from_dag_graph<G: GraphView>(g: &G) -> Result<Self> {
+        let mut list: Vec<(u32, u32)> = Vec::with_capacity(g.edge_count());
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                list.push((u.0, v.0));
+            }
+        }
+        Self::from_edges(g.node_count(), list)
     }
 
     /// Number of nodes of the DAG.
     pub fn node_count(&self) -> usize {
-        self.out.len()
+        self.out_offsets.len() - 1
     }
 
-    /// Out-neighbours of `v`.
+    /// Out-neighbours of `v` (sorted ascending).
     pub fn out(&self, v: u32) -> &[u32] {
-        &self.out[v as usize]
+        let i = v as usize;
+        &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
     }
 
-    /// In-neighbours of `v`.
+    /// In-neighbours of `v` (sorted ascending).
     pub fn inn(&self, v: u32) -> &[u32] {
-        &self.inn[v as usize]
+        let i = v as usize;
+        &self.in_targets[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
     }
 
     /// The column ranges of a chunked sweep with the given chunk width.
@@ -137,8 +163,8 @@ impl DagReach {
             // Split borrows: take v's set out, fold neighbours in, put back.
             let mut acc = std::mem::replace(&mut sets[v as usize], FixedBitSet::with_capacity(0));
             let neighbors = match dir {
-                Direction::Forward => &self.out[v as usize],
-                Direction::Backward => &self.inn[v as usize],
+                Direction::Forward => self.out(v),
+                Direction::Backward => self.inn(v),
             };
             for &w in neighbors {
                 acc.union_with(&sets[w as usize]);
@@ -156,14 +182,14 @@ impl DagReach {
     /// the DAG (used by tests and by the transitive-reduction fallback).
     pub fn reaches(&self, u: u32, v: u32) -> bool {
         let mut visited = vec![false; self.node_count()];
-        let mut stack: Vec<u32> = self.out[u as usize].to_vec();
+        let mut stack: Vec<u32> = self.out(u).to_vec();
         while let Some(x) = stack.pop() {
             if x == v {
                 return true;
             }
             if !visited[x as usize] {
                 visited[x as usize] = true;
-                stack.extend_from_slice(&self.out[x as usize]);
+                stack.extend_from_slice(self.out(x));
             }
         }
         false
@@ -176,15 +202,16 @@ enum Direction {
     Backward,
 }
 
-/// Kahn topological sort; fails with [`GraphError::NotADag`] on cycles.
-fn kahn_topological_order(out: &[Vec<u32>], inn: &[Vec<u32>]) -> Result<Vec<u32>> {
-    let n = out.len();
-    let mut indeg: Vec<usize> = inn.iter().map(Vec::len).collect();
+/// Kahn topological sort over the CSR arrays; fails with
+/// [`GraphError::NotADag`] on cycles.
+fn kahn_topological_order(dag: &DagReach) -> Result<Vec<u32>> {
+    let n = dag.node_count();
+    let mut indeg: Vec<usize> = (0..n as u32).map(|v| dag.inn(v).len()).collect();
     let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop() {
         order.push(v);
-        for &w in &out[v as usize] {
+        for &w in dag.out(v) {
             indeg[w as usize] -= 1;
             if indeg[w as usize] == 0 {
                 queue.push(w);
@@ -204,7 +231,7 @@ fn kahn_topological_order(out: &[Vec<u32>], inn: &[Vec<u32>]) -> Result<Vec<u32>
 /// This is a convenience for tests and small graphs: it returns, for every
 /// node, bit sets over *node* ids (not SCC ids). `descendants[v]` contains
 /// `w` iff there is a non-empty path from `v` to `w`.
-pub fn node_closures(g: &LabeledGraph) -> (Vec<FixedBitSet>, Vec<FixedBitSet>) {
+pub fn node_closures<G: GraphView>(g: &G) -> (Vec<FixedBitSet>, Vec<FixedBitSet>) {
     let n = g.node_count();
     let cond = Condensation::of(g);
     let dag = DagReach::from_condensation(&cond);
@@ -241,6 +268,7 @@ pub fn node_closures(g: &LabeledGraph) -> (Vec<FixedBitSet>, Vec<FixedBitSet>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::LabeledGraph;
     use crate::traversal;
 
     fn diamond_dag() -> DagReach {

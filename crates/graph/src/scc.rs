@@ -7,11 +7,17 @@
 //! algorithms (Section 5). We implement Tarjan's algorithm iteratively so
 //! deep graphs cannot overflow the call stack.
 
+use crate::csr::csr_from_grouped;
 use crate::graph::LabeledGraph;
 use crate::ids::NodeId;
+use crate::view::GraphView;
 
 /// The result of an SCC decomposition: a mapping from nodes to component
 /// ids plus the condensation DAG.
+///
+/// Members and condensation adjacency are stored in compressed sparse row
+/// form (one contiguous array plus offsets per direction) — no per-component
+/// `Vec` allocations, and the slices the accessors return are contiguous.
 #[derive(Clone, Debug)]
 pub struct Condensation {
     /// `component[v]` is the SCC id of node `v`. Component ids are dense,
@@ -19,20 +25,26 @@ pub struct Condensation {
     /// order of completion* (Tarjan property: every edge of the condensation
     /// goes from a higher id to a lower id... see [`Condensation::is_topological`]).
     component: Vec<u32>,
-    /// Members of each component.
-    members: Vec<Vec<NodeId>>,
-    /// Out-adjacency of the condensation DAG (no duplicate edges, no self
-    /// loops).
-    scc_out: Vec<Vec<u32>>,
-    /// In-adjacency of the condensation DAG.
-    scc_in: Vec<Vec<u32>>,
-    /// Number of edges in the condensation DAG.
-    scc_edges: usize,
+    /// CSR offsets into `member_list`, one range per component.
+    member_offsets: Vec<u32>,
+    /// Members of every component, grouped by component id.
+    member_list: Vec<NodeId>,
+    /// CSR out-adjacency of the condensation DAG (no duplicate edges, no
+    /// self loops).
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    /// CSR in-adjacency of the condensation DAG.
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
 }
 
 impl Condensation {
     /// Computes the SCC decomposition of `g` with an iterative Tarjan.
-    pub fn of(g: &LabeledGraph) -> Self {
+    ///
+    /// Accepts any [`GraphView`] — the mutable graph or a frozen
+    /// [`crate::CsrGraph`] snapshot (the CSR layout makes the DFS scans
+    /// cache-friendly on large graphs).
+    pub fn of<G: GraphView>(g: &G) -> Self {
         let n = g.node_count();
         let mut index = vec![u32::MAX; n];
         let mut lowlink = vec![0u32; n];
@@ -42,22 +54,23 @@ impl Condensation {
         let mut next_index = 0u32;
         let mut comp_count = 0u32;
 
-        // Explicit DFS state: (node, next child position).
-        let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+        // Explicit DFS state: (node, neighbor slice, next child position).
+        // Caching the slice in the frame avoids re-fetching adjacency (two
+        // offset loads + a slice construction) once per edge.
+        let mut call_stack: Vec<(NodeId, &[NodeId], usize)> = Vec::new();
 
         for root in g.nodes() {
             if index[root.index()] != u32::MAX {
                 continue;
             }
-            call_stack.push((root, 0));
+            call_stack.push((root, g.out_neighbors(root), 0));
             index[root.index()] = next_index;
             lowlink[root.index()] = next_index;
             next_index += 1;
             stack.push(root);
             on_stack[root.index()] = true;
 
-            while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
-                let children = g.out_neighbors(v);
+            while let Some(&mut (v, children, ref mut child_pos)) = call_stack.last_mut() {
                 if *child_pos < children.len() {
                     let w = children[*child_pos];
                     *child_pos += 1;
@@ -68,14 +81,14 @@ impl Condensation {
                         next_index += 1;
                         stack.push(w);
                         on_stack[w.index()] = true;
-                        call_stack.push((w, 0));
+                        call_stack.push((w, g.out_neighbors(w), 0));
                     } else if on_stack[w.index()] {
                         lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
                     }
                 } else {
                     // Done with v: pop and propagate lowlink to parent.
                     call_stack.pop();
-                    if let Some(&(parent, _)) = call_stack.last() {
+                    if let Some(&(parent, _, _)) = call_stack.last() {
                         lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
                     }
                     if lowlink[v.index()] == index[v.index()] {
@@ -94,47 +107,64 @@ impl Condensation {
             }
         }
 
-        // Build the condensation adjacency (deduplicated).
+        // Members in CSR form: counting sort by component id.
         let c = comp_count as usize;
-        let mut members = vec![Vec::new(); c];
+        let mut member_offsets = vec![0u32; c + 1];
         for v in g.nodes() {
-            members[component[v.index()] as usize].push(v);
+            member_offsets[component[v.index()] as usize + 1] += 1;
         }
-        let mut scc_out = vec![Vec::new(); c];
-        let mut scc_in = vec![Vec::new(); c];
+        for i in 0..c {
+            member_offsets[i + 1] += member_offsets[i];
+        }
+        let mut cursor: Vec<u32> = member_offsets[..c].to_vec();
+        let mut member_list = vec![NodeId(0); n];
+        for v in g.nodes() {
+            let cu = component[v.index()] as usize;
+            member_list[cursor[cu] as usize] = v;
+            cursor[cu] += 1;
+        }
+
+        // Condensation adjacency, deduplicated with a per-source marker and
+        // collected grouped by source (member_list is grouped by component),
+        // then scattered into CSR form for both directions.
         let mut seen = vec![u32::MAX; c];
-        let mut scc_edges = 0usize;
-        for (cu, member_list) in members.iter().enumerate() {
-            for &u in member_list {
+        let mut cross: Vec<(u32, u32)> = Vec::new();
+        for cu in 0..c {
+            let lo = member_offsets[cu] as usize;
+            let hi = member_offsets[cu + 1] as usize;
+            for &u in &member_list[lo..hi] {
                 for &w in g.out_neighbors(u) {
                     let cw = component[w.index()] as usize;
                     if cw != cu && seen[cw] != cu as u32 {
                         seen[cw] = cu as u32;
-                        scc_out[cu].push(cw as u32);
-                        scc_in[cw].push(cu as u32);
-                        scc_edges += 1;
+                        cross.push((cu as u32, cw as u32));
                     }
                 }
             }
         }
+        // `cross` is grouped by ascending source and deduplicated, exactly
+        // what the shared CSR builder expects.
+        let (out_offsets, out_targets, in_offsets, in_targets) = csr_from_grouped(c, &cross);
 
         Condensation {
             component,
-            members,
-            scc_out,
-            scc_in,
-            scc_edges,
+            member_offsets,
+            member_list,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
         }
     }
 
     /// Number of strongly connected components.
     pub fn component_count(&self) -> usize {
-        self.members.len()
+        self.member_offsets.len() - 1
     }
 
     /// Number of edges of the condensation DAG.
     pub fn edge_count(&self) -> usize {
-        self.scc_edges
+        self.out_targets.len()
     }
 
     /// The paper's `|Gscc|` size measure: components plus condensation edges.
@@ -150,24 +180,42 @@ impl Condensation {
 
     /// Members of component `c`.
     pub fn members(&self, c: u32) -> &[NodeId] {
-        &self.members[c as usize]
+        let i = c as usize;
+        &self.member_list[self.member_offsets[i] as usize..self.member_offsets[i + 1] as usize]
     }
 
     /// Out-neighbours of component `c` in the condensation DAG.
     pub fn scc_out(&self, c: u32) -> &[u32] {
-        &self.scc_out[c as usize]
+        let i = c as usize;
+        &self.out_targets[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
     }
 
     /// In-neighbours of component `c` in the condensation DAG.
     pub fn scc_in(&self, c: u32) -> &[u32] {
-        &self.scc_in[c as usize]
+        let i = c as usize;
+        &self.in_targets[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
     }
 
     /// `true` when component `c` contains a cycle (more than one member, or
     /// a single member with a self loop in `g`).
-    pub fn is_cyclic(&self, c: u32, g: &LabeledGraph) -> bool {
+    pub fn is_cyclic<G: GraphView>(&self, c: u32, g: &G) -> bool {
         let m = self.members(c);
         m.len() > 1 || (m.len() == 1 && g.has_edge(m[0], m[0]))
+    }
+
+    /// Cyclicity of every component in one sequential sweep over the nodes
+    /// (cheaper than `component_count` individual [`Condensation::is_cyclic`]
+    /// probes when all flags are needed, as the rank and reachability
+    /// equivalence computations do).
+    pub fn cyclic_flags<G: GraphView>(&self, g: &G) -> Vec<bool> {
+        let c = self.component_count();
+        let mut cyclic: Vec<bool> = (0..c as u32).map(|cu| self.members(cu).len() > 1).collect();
+        for v in g.nodes() {
+            if g.out_neighbors(v).contains(&v) {
+                cyclic[self.component_of(v) as usize] = true;
+            }
+        }
+        cyclic
     }
 
     /// Returns the component ids in topological order (sources first).
@@ -183,25 +231,26 @@ impl Condensation {
     /// every condensation edge goes from a higher component id to a lower
     /// one.
     pub fn is_topological(&self) -> bool {
-        self.scc_out
-            .iter()
-            .enumerate()
-            .all(|(cu, outs)| outs.iter().all(|&cw| (cw as usize) < cu))
+        (0..self.component_count())
+            .all(|cu| self.scc_out(cu as u32).iter().all(|&cw| (cw as usize) < cu))
     }
 
     /// Builds the condensation as a standalone [`LabeledGraph`] whose node
     /// `i` is component `i`; all nodes share one label. This is the graph
     /// `Gscc` that the AHO baseline and the `RCscc` measurements operate on.
     pub fn to_graph(&self) -> LabeledGraph {
-        let mut g = LabeledGraph::with_capacity(self.component_count());
-        for _ in 0..self.component_count() {
+        let c = self.component_count();
+        let mut g = LabeledGraph::with_capacity(c);
+        for _ in 0..c {
             g.add_node_with_label("scc");
         }
-        for (cu, outs) in self.scc_out.iter().enumerate() {
-            for &cw in outs {
-                g.add_edge(NodeId::new(cu), NodeId::new(cw as usize));
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edge_count());
+        for cu in 0..c {
+            for &cw in self.scc_out(cu as u32) {
+                edges.push((NodeId::new(cu), NodeId::new(cw as usize)));
             }
         }
+        g.extend_edges(edges);
         g
     }
 }

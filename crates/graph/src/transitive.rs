@@ -11,6 +11,7 @@ use crate::error::Result;
 use crate::graph::LabeledGraph;
 use crate::ids::NodeId;
 use crate::reach_sets::{DagReach, DEFAULT_CHUNK};
+use crate::view::GraphView;
 
 /// Computes the unique transitive reduction of a DAG, returned as the list
 /// of retained edges.
@@ -20,17 +21,24 @@ use crate::reach_sets::{DagReach, DEFAULT_CHUNK};
 /// memory stays `O(n · chunk / 8)`.
 ///
 /// Returns an error if the input is not acyclic.
-pub fn transitive_reduction(g: &LabeledGraph) -> Result<Vec<(NodeId, NodeId)>> {
+pub fn transitive_reduction<G: GraphView>(g: &G) -> Result<Vec<(NodeId, NodeId)>> {
     transitive_reduction_with_chunk(g, DEFAULT_CHUNK)
 }
 
 /// [`transitive_reduction`] with an explicit chunk width (exposed for tests
 /// and for the ablation benchmark).
-pub fn transitive_reduction_with_chunk(
-    g: &LabeledGraph,
+pub fn transitive_reduction_with_chunk<G: GraphView>(
+    g: &G,
     chunk: usize,
 ) -> Result<Vec<(NodeId, NodeId)>> {
     let dag = DagReach::from_dag_graph(g)?;
+    Ok(transitive_reduction_dag(&dag, chunk))
+}
+
+/// Transitive reduction directly on an already-built [`DagReach`] — the
+/// entry point `compressR` uses to reduce its quotient edge list without
+/// materializing an intermediate `LabeledGraph` first.
+pub fn transitive_reduction_dag(dag: &DagReach, chunk: usize) -> Vec<(NodeId, NodeId)> {
     let n = dag.node_count();
     let mut keep: Vec<(NodeId, NodeId)> = Vec::new();
 
@@ -53,20 +61,18 @@ pub fn transitive_reduction_with_chunk(
             }
         }
     }
-    Ok(keep)
+    keep
 }
 
 /// Builds a new graph containing the same nodes (and labels) as `g` but only
 /// the transitively-reduced edge set.
-pub fn transitive_reduction_graph(g: &LabeledGraph) -> Result<LabeledGraph> {
+pub fn transitive_reduction_graph<G: GraphView>(g: &G) -> Result<LabeledGraph> {
     let kept = transitive_reduction(g)?;
     let mut out = LabeledGraph::with_capacity(g.node_count());
     for v in g.nodes() {
         out.add_node(g.label(v));
     }
-    for (u, v) in kept {
-        out.add_edge(u, v);
-    }
+    out.extend_edges(kept);
     Ok(out)
 }
 
@@ -74,7 +80,7 @@ pub fn transitive_reduction_graph(g: &LabeledGraph) -> Result<LabeledGraph> {
 /// (proper descendants, i.e. via non-empty paths). Convenience wrapper used
 /// by tests and by the 2-hop index verification; quadratic memory, so only
 /// for modest graphs.
-pub fn transitive_closure(g: &LabeledGraph) -> Result<Vec<FixedBitSet>> {
+pub fn transitive_closure<G: GraphView>(g: &G) -> Result<Vec<FixedBitSet>> {
     let dag = DagReach::from_dag_graph(g)?;
     Ok(dag.full_descendants())
 }

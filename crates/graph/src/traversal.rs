@@ -12,17 +12,20 @@
 //!   hops, the primitive behind bounded-simulation edge checks.
 //! * [`descendants`] / [`ancestors`] — full forward / backward closures of a
 //!   single node.
+//!
+//! Every function is generic over [`GraphView`], so the same code runs on
+//! the mutable `LabeledGraph` and on a frozen [`crate::CsrGraph`] snapshot.
 
 use std::collections::VecDeque;
 
-use crate::graph::LabeledGraph;
 use crate::ids::NodeId;
+use crate::view::GraphView;
 
 /// Answers the reachability query `QR(from, to)` with a forward BFS.
 ///
 /// Every node reaches itself (paths of length 0 are allowed, as in the
 /// paper's definition of reachability).
-pub fn bfs_reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bool {
+pub fn bfs_reachable<G: GraphView>(g: &G, from: NodeId, to: NodeId) -> bool {
     if from == to {
         return true;
     }
@@ -45,13 +48,13 @@ pub fn bfs_reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bool {
 }
 
 /// Convenience alias for [`bfs_reachable`].
-pub fn reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bool {
+pub fn reachable<G: GraphView>(g: &G, from: NodeId, to: NodeId) -> bool {
     bfs_reachable(g, from, to)
 }
 
 /// Answers `QR(from, to)` with a bidirectional BFS that alternately expands
 /// the smaller of the two frontiers (the paper's `BIBFS`).
-pub fn bidirectional_reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bool {
+pub fn bidirectional_reachable<G: GraphView>(g: &G, from: NodeId, to: NodeId) -> bool {
     if from == to {
         return true;
     }
@@ -102,7 +105,7 @@ pub fn bidirectional_reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bo
 
 /// Answers `QR(from, to)` with an iterative DFS. Used as an independent
 /// oracle in tests (a deliberately different traversal order from BFS).
-pub fn dfs_reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bool {
+pub fn dfs_reachable<G: GraphView>(g: &G, from: NodeId, to: NodeId) -> bool {
     if from == to {
         return true;
     }
@@ -129,7 +132,7 @@ pub fn dfs_reachable(g: &LabeledGraph, from: NodeId, to: NodeId) -> bool {
 /// `None` for `k` means "unbounded" (the `*` edge bound of graph pattern
 /// queries) and degenerates to a full forward closure minus the trivial
 /// empty path.
-pub fn bounded_bfs(g: &LabeledGraph, start: NodeId, k: Option<usize>) -> Vec<NodeId> {
+pub fn bounded_bfs<G: GraphView>(g: &G, start: NodeId, k: Option<usize>) -> Vec<NodeId> {
     let mut dist = vec![usize::MAX; g.node_count()];
     let mut queue = VecDeque::new();
     let mut result = Vec::new();
@@ -158,13 +161,13 @@ pub fn bounded_bfs(g: &LabeledGraph, start: NodeId, k: Option<usize>) -> Vec<Nod
 
 /// Full forward closure of `start` (the paper's descendant set), excluding
 /// `start` unless it lies on a cycle.
-pub fn descendants(g: &LabeledGraph, start: NodeId) -> Vec<NodeId> {
+pub fn descendants<G: GraphView>(g: &G, start: NodeId) -> Vec<NodeId> {
     bounded_bfs(g, start, None)
 }
 
 /// Full backward closure of `start` (the paper's ancestor set), excluding
 /// `start` unless it lies on a cycle.
-pub fn ancestors(g: &LabeledGraph, start: NodeId) -> Vec<NodeId> {
+pub fn ancestors<G: GraphView>(g: &G, start: NodeId) -> Vec<NodeId> {
     let mut dist = vec![false; g.node_count()];
     let mut queue = VecDeque::new();
     let mut result = Vec::new();
@@ -191,7 +194,7 @@ pub fn ancestors(g: &LabeledGraph, start: NodeId) -> Vec<NodeId> {
 
 /// Computes single-source shortest-path distances (in edges) from `start`.
 /// Unreachable nodes get `usize::MAX`.
-pub fn bfs_distances(g: &LabeledGraph, start: NodeId) -> Vec<usize> {
+pub fn bfs_distances<G: GraphView>(g: &G, start: NodeId) -> Vec<usize> {
     let mut dist = vec![usize::MAX; g.node_count()];
     let mut queue = VecDeque::new();
     dist[start.index()] = 0;
@@ -211,6 +214,7 @@ pub fn bfs_distances(g: &LabeledGraph, start: NodeId) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::LabeledGraph;
 
     /// a -> b -> c -> d,  e isolated, f -> f (self loop), d -> b (cycle b,c,d)
     fn sample() -> (LabeledGraph, Vec<NodeId>) {

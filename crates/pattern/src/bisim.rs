@@ -19,16 +19,40 @@
 //!    of blocks its children currently belong to;
 //! 3. a fixpoint of this refinement is exactly the maximum bisimulation.
 //!
-//! Each refinement round is `O(|E| + |V|)` with hashing; rank
-//! stratification keeps the number of rounds near the depth of the DAG of
-//! SCCs in practice. A deliberately naive fixpoint (no rank seeding) is kept
-//! as [`reference_bisimulation`] for differential testing.
+//! ## Hot-path implementation
+//!
+//! [`bisimulation_partition_csr`] runs the refinement over a frozen
+//! [`CsrGraph`] with **no per-node heap allocation inside the loop**:
+//!
+//! * signatures are summarized by an order-independent 128-bit fingerprint
+//!   of the deduplicated child-block set (epoch-marked, one `O(deg)` scan —
+//!   no `Vec<u32>` per node, no sorting, no `HashMap<(u32, Vec<u32>), u32>`
+//!   rebuilt per round);
+//! * block ids are *stable* — a split keeps the largest fragment under the
+//!   old id and moves the rest to fresh ids — so a node's signature only
+//!   changes when one of its children moves, and a **worklist** (parents of
+//!   moved nodes) drives the next round. When a round produces no split the
+//!   worklist is empty and the loop exits immediately: the full extra
+//!   "confirm stabilization" signature pass of the baseline implementation
+//!   disappears;
+//! * singleton blocks can never split, so their members are skipped
+//!   entirely.
+//!
+//! Two same-block nodes only ever compare fingerprints computed against the
+//! same partition state (bisimilar nodes are dirtied together), so the
+//! comparison is exact up to a 128-bit fingerprint collision —
+//! `≈ b²/2¹²⁸` for block size `b`, which is far below memory-error rates.
+//!
+//! The pre-CSR per-round implementation is kept as
+//! [`bisimulation_partition_baseline`] (rank-seeded) and
+//! [`reference_bisimulation`] (label-seeded) for differential testing and
+//! the ablation benchmark.
 
 use std::collections::HashMap;
 
 use qpgc_graph::rank::{bisim_ranks, BisimRank};
 use qpgc_graph::scc::Condensation;
-use qpgc_graph::{Label, LabeledGraph, NodeId};
+use qpgc_graph::{CsrGraph, Label, LabeledGraph, NodeId};
 
 /// The partition of `V` induced by the maximum bisimulation.
 #[derive(Clone, Debug)]
@@ -75,31 +99,245 @@ impl BisimPartition {
 }
 
 /// Computes the maximum bisimulation partition of `g` (rank-stratified
-/// signature refinement).
+/// signature refinement) by freezing a CSR snapshot and running
+/// [`bisimulation_partition_csr`] on it.
 pub fn bisimulation_partition(g: &LabeledGraph) -> BisimPartition {
+    bisimulation_partition_csr(&g.freeze())
+}
+
+/// Computes the maximum bisimulation partition over a frozen CSR snapshot
+/// with the allocation-free worklist refinement (see the module docs).
+pub fn bisimulation_partition_csr(g: &CsrGraph) -> BisimPartition {
     let cond = Condensation::of(g);
     let ranks = bisim_ranks(g, &cond);
-    // Initial blocks: (label, rank). Both are invariants of bisimilarity.
-    let init = |v: NodeId| (g.label(v), ranks.rank[v.index()]);
-    refine_to_fixpoint(g, init)
+    refine_worklist(g, |v| (g.label(v), ranks.rank[v.index()]))
+}
+
+/// SplitMix64-style finalizer used to build the set fingerprints.
+#[inline]
+fn mix64(x: u64, seed: u64) -> u64 {
+    let mut z = x.wrapping_add(seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Worklist signature refinement from an initial block assignment given by
+/// `seed` (which must be coarser than the maximum bisimulation).
+fn refine_worklist<F>(g: &CsrGraph, seed: F) -> BisimPartition
+where
+    F: Fn(NodeId) -> (Label, BisimRank),
+{
+    let n = g.node_count();
+    let mut block: Vec<u32> = vec![0; n];
+    // Block membership lives in one shared arena: `arena` is a permutation
+    // of the node ids and `range[b]` is the contiguous `(start, len)` span
+    // of block `b`'s members. A split sorts the span in place and carves it
+    // into sub-spans — no member is ever copied and no per-block `Vec` is
+    // ever allocated.
+    let mut range: Vec<(u32, u32)> = Vec::new();
+    {
+        // Seed blocks (the only HashMap with composite keys; runs once).
+        let mut key_to_block: HashMap<(Label, BisimRank), u32> = HashMap::new();
+        for v in g.nodes() {
+            let next = range.len() as u32;
+            let id = *key_to_block.entry(seed(v)).or_insert_with(|| {
+                range.push((0, 0));
+                next
+            });
+            block[v.index()] = id;
+            range[id as usize].1 += 1;
+        }
+    }
+    let seed_blocks = range.len();
+    let mut arena: Vec<u32> = vec![0; n];
+    {
+        // Counting scatter of nodes into their seed block's span.
+        let mut start = 0u32;
+        for r in range.iter_mut() {
+            r.0 = start;
+            start += r.1;
+        }
+        let mut cursor: Vec<u32> = range.iter().map(|r| r.0).collect();
+        for (v, &b) in block.iter().enumerate() {
+            arena[cursor[b as usize] as usize] = v as u32;
+            cursor[b as usize] += 1;
+        }
+    }
+
+    // All buffers below are allocated once and reused every round.
+    let mut fp: Vec<u128> = vec![0; n];
+    let mut dirty: Vec<bool> = vec![true; n];
+    let mut work: Vec<u32> = (0..n as u32).collect();
+    let mut block_affected: Vec<bool> = vec![false; seed_blocks];
+    let mut affected: Vec<u32> = Vec::new();
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    // Epoch-marked deduplication of child blocks: `mark[b] == epoch` means
+    // block b was already folded into the current node's fingerprint. Block
+    // ids never exceed n, so one n-sized array serves every round.
+    let mut mark: Vec<u64> = vec![0; n.max(1)];
+    let mut epoch: u64 = 0;
+
+    while !work.is_empty() {
+        // Phase 1: refresh the fingerprints of dirty nodes. Nodes in
+        // singleton blocks are skipped — a singleton can never split. The
+        // fingerprint is an order-independent 128-bit sum over the *set* of
+        // child blocks (duplicates dropped via the epoch marks), so it needs
+        // one O(deg) scan — no sorting, no scratch list.
+        for &v in &work {
+            dirty[v as usize] = false;
+            let b = block[v as usize];
+            if range[b as usize].1 <= 1 {
+                continue;
+            }
+            epoch += 1;
+            let mut h1 = 0u64;
+            let mut h2 = 0u64;
+            let mut distinct = 0u64;
+            for &w in g.out_neighbors(NodeId(v)) {
+                let wb = block[w.index()];
+                let m = &mut mark[wb as usize];
+                if *m != epoch {
+                    *m = epoch;
+                    h1 = h1.wrapping_add(mix64(wb as u64, 0xa076_1d64_78bd_642f));
+                    h2 = h2.wrapping_add(mix64(wb as u64, 0xe703_7ed1_a0b4_28db));
+                    distinct += 1;
+                }
+            }
+            h1 ^= mix64(distinct, 0x8ebc_6af0_9c88_c6e3);
+            h2 ^= mix64(distinct, 0x5899_65cc_7537_4cc3);
+            fp[v as usize] = ((h1 as u128) << 64) | h2 as u128;
+            if !block_affected[b as usize] {
+                block_affected[b as usize] = true;
+                affected.push(b);
+            }
+        }
+        work.clear();
+
+        // Phase 2: split every affected block by fingerprint. The largest
+        // fragment keeps the block id (fewest parents dirtied); the rest
+        // move to fresh ids.
+        let first_new_block = range.len();
+        for &b in &affected {
+            block_affected[b as usize] = false;
+            let (start, len) = range[b as usize];
+            let span = &mut arena[start as usize..(start + len) as usize];
+            // Linear uniformity pre-scan: most affected blocks turn out not
+            // to split, and a scan is much cheaper than the sort below.
+            if len <= 1
+                || span[1..]
+                    .iter()
+                    .all(|&v| fp[v as usize] == fp[span[0] as usize])
+            {
+                continue;
+            }
+            span.sort_unstable_by_key(|&v| fp[v as usize]);
+            runs.clear();
+            let mut run_start = 0u32;
+            for i in 1..=len {
+                if i == len
+                    || fp[span[i as usize] as usize] != fp[span[run_start as usize] as usize]
+                {
+                    runs.push((run_start, i));
+                    run_start = i;
+                }
+            }
+            let largest = runs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.1 - r.0)
+                .map(|(i, _)| i)
+                .expect("non-empty runs");
+            for (ri, &(rs, re)) in runs.iter().enumerate() {
+                if ri == largest {
+                    range[b as usize] = (start + rs, re - rs);
+                    continue;
+                }
+                let id = range.len() as u32;
+                range.push((start + rs, re - rs));
+                block_affected.push(false);
+                for i in rs..re {
+                    block[arena[(start + i) as usize] as usize] = id;
+                }
+            }
+        }
+        affected.clear();
+
+        // Phase 3: a node's signature only depends on its children's block
+        // ids, so exactly the parents of moved nodes — the members of the
+        // blocks created this round — need re-examination. Runs after every
+        // split so the singleton check sees final block sizes.
+        for nb in first_new_block..range.len() {
+            let (start, len) = range[nb];
+            for i in 0..len {
+                let v = arena[(start + i) as usize];
+                for &p in g.in_neighbors(NodeId(v)) {
+                    if !dirty[p.index()] && range[block[p.index()] as usize].1 > 1 {
+                        dirty[p.index()] = true;
+                        work.push(p.0);
+                    }
+                }
+            }
+        }
+    }
+
+    densify(g.labels(), &block)
+}
+
+/// Densifies stable block ids into first-seen order and collects members —
+/// shared by the worklist and baseline paths.
+fn densify(node_labels: &[Label], block: &[u32]) -> BisimPartition {
+    let n = block.len();
+    // Block ids are always < n, so a flat vector serves as the remap table.
+    let mut remap: Vec<u32> = vec![u32::MAX; n.max(1)];
+    let mut class_of = vec![0u32; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut labels: Vec<Label> = Vec::new();
+    for v in 0..n {
+        let slot = &mut remap[block[v] as usize];
+        if *slot == u32::MAX {
+            *slot = members.len() as u32;
+            members.push(Vec::new());
+            labels.push(node_labels[v]);
+        }
+        let id = *slot;
+        class_of[v] = id;
+        members[id as usize].push(NodeId(v as u32));
+    }
+    BisimPartition {
+        class_of,
+        members,
+        labels,
+    }
+}
+
+/// The pre-CSR implementation (per-round `HashMap<(u32, Vec<u32>), u32>`
+/// signature table, rank-seeded), retained as the differential-testing
+/// oracle and the perf baseline the `BENCH_2.json` harness measures the CSR
+/// path against.
+pub fn bisimulation_partition_baseline(g: &LabeledGraph) -> BisimPartition {
+    let cond = Condensation::of(g);
+    let ranks = bisim_ranks(g, &cond);
+    refine_to_fixpoint(g, |v| (g.label(v), ranks.rank[v.index()]))
 }
 
 /// A reference implementation seeded only by labels (no rank
 /// stratification); used in tests and the ablation benchmark.
 pub fn reference_bisimulation(g: &LabeledGraph) -> BisimPartition {
-    let init = |v: NodeId| (g.label(v), BisimRank::Finite(0));
-    refine_to_fixpoint(g, init)
+    refine_to_fixpoint(g, |v| (g.label(v), BisimRank::Finite(0)))
 }
 
-/// Runs the signature-refinement fixpoint from an initial block assignment
-/// given by `seed` (which must be coarser than the maximum bisimulation).
+/// Runs the per-round hash-table signature-refinement fixpoint from an
+/// initial block assignment given by `seed`. The block count is carried
+/// between rounds (the old implementation rescanned the whole block vector
+/// with a `count_distinct` pass every round).
 fn refine_to_fixpoint<F>(g: &LabeledGraph, seed: F) -> BisimPartition
 where
     F: Fn(NodeId) -> (Label, BisimRank),
 {
     let n = g.node_count();
     let mut block: Vec<u32> = vec![0; n];
-    // Seed blocks.
+    let mut block_count;
     {
         let mut key_to_block: HashMap<(Label, BisimRank), u32> = HashMap::new();
         for v in g.nodes() {
@@ -108,14 +346,15 @@ where
             let id = *key_to_block.entry(key).or_insert(next);
             block[v.index()] = id;
         }
+        block_count = key_to_block.len();
     }
 
     // Refine until stable: the signature of a node is (its current block,
-    // the sorted deduplicated set of its children's blocks).
+    // the sorted deduplicated set of its children's blocks). Splitting can
+    // only increase the block count, so an unchanged count means fixpoint.
     loop {
         let mut key_to_block: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
         let mut new_block = vec![0u32; n];
-        let mut changed = false;
         for v in g.nodes() {
             let mut succ: Vec<u32> = g
                 .out_neighbors(v)
@@ -129,53 +368,15 @@ where
             let id = *key_to_block.entry(key).or_insert(next);
             new_block[v.index()] = id;
         }
-        // Count blocks before/after to detect stabilization.
-        let old_count = count_distinct(&block);
         let new_count = key_to_block.len();
-        if new_count != old_count {
-            changed = true;
-        }
         block = new_block;
-        if !changed {
+        if new_count == block_count {
             break;
         }
+        block_count = new_count;
     }
 
-    // Densify ids in first-seen order and collect members.
-    let mut remap: HashMap<u32, u32> = HashMap::new();
-    let mut class_of = vec![0u32; n];
-    let mut members: Vec<Vec<NodeId>> = Vec::new();
-    let mut labels: Vec<Label> = Vec::new();
-    for v in g.nodes() {
-        let id = *remap.entry(block[v.index()]).or_insert_with(|| {
-            members.push(Vec::new());
-            labels.push(g.label(v));
-            (members.len() - 1) as u32
-        });
-        class_of[v.index()] = id;
-        members[id as usize].push(v);
-    }
-    BisimPartition {
-        class_of,
-        members,
-        labels,
-    }
-}
-
-fn count_distinct(block: &[u32]) -> usize {
-    let mut seen: Vec<bool> = vec![false; block.len().max(1)];
-    let mut count = 0;
-    for &b in block {
-        let b = b as usize;
-        if b >= seen.len() {
-            seen.resize(b + 1, false);
-        }
-        if !seen[b] {
-            seen[b] = true;
-            count += 1;
-        }
-    }
-    count
+    densify(g.labels(), &block)
 }
 
 /// A pairwise oracle for bisimilarity used in tests: checks the definition
@@ -322,22 +523,26 @@ mod tests {
         assert!(!p.bisimilar(NodeId(1), NodeId(2)));
     }
 
+    fn random_labeled(rng: &mut StdRng, n_max: usize, alphabet: &[&str]) -> LabeledGraph {
+        let n = rng.gen_range(2..n_max);
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+        let m = rng.gen_range(0..n * 3);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
     #[test]
     fn rank_stratified_matches_reference() {
         let mut rng = StdRng::seed_from_u64(11);
-        let alphabet = ["A", "B", "C"];
         for _ in 0..25 {
-            let n = rng.gen_range(2..20);
-            let mut g = LabeledGraph::new();
-            for _ in 0..n {
-                g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
-            }
-            let m = rng.gen_range(0..n * 3);
-            for _ in 0..m {
-                let u = rng.gen_range(0..n) as u32;
-                let v = rng.gen_range(0..n) as u32;
-                g.add_edge(NodeId(u), NodeId(v));
-            }
+            let g = random_labeled(&mut rng, 20, &["A", "B", "C"]);
             let a = bisimulation_partition(&g);
             let b = reference_bisimulation(&g);
             assert_eq!(a.canonical(), b.canonical());
@@ -345,21 +550,21 @@ mod tests {
     }
 
     #[test]
+    fn worklist_csr_matches_baseline() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let g = random_labeled(&mut rng, 40, &["A", "B", "C", "D"]);
+            let fast = bisimulation_partition_csr(&g.freeze());
+            let slow = bisimulation_partition_baseline(&g);
+            assert_eq!(fast.canonical(), slow.canonical());
+        }
+    }
+
+    #[test]
     fn matches_naive_pairwise_oracle() {
         let mut rng = StdRng::seed_from_u64(3);
-        let alphabet = ["A", "B"];
         for _ in 0..15 {
-            let n = rng.gen_range(2..9);
-            let mut g = LabeledGraph::new();
-            for _ in 0..n {
-                g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
-            }
-            let m = rng.gen_range(0..n * 2);
-            for _ in 0..m {
-                let u = rng.gen_range(0..n) as u32;
-                let v = rng.gen_range(0..n) as u32;
-                g.add_edge(NodeId(u), NodeId(v));
-            }
+            let g = random_labeled(&mut rng, 9, &["A", "B"]);
             let p = bisimulation_partition(&g);
             for u in g.nodes() {
                 for v in g.nodes() {
@@ -389,6 +594,8 @@ mod tests {
         let g = LabeledGraph::new();
         let p = bisimulation_partition(&g);
         assert_eq!(p.class_count(), 0);
+        let b = bisimulation_partition_baseline(&g);
+        assert_eq!(b.class_count(), 0);
     }
 
     #[test]

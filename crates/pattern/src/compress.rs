@@ -9,9 +9,9 @@
 //! the original nodes it represents (Theorem 4). For Boolean pattern
 //! queries `P` is not needed.
 
-use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_graph::{CsrGraph, GraphView, LabeledGraph, NodeId};
 
-use crate::bisim::{bisimulation_partition, BisimPartition};
+use crate::bisim::{bisimulation_partition_csr, BisimPartition};
 use crate::pattern::MatchRelation;
 
 /// The output of `compressB`: the compressed graph plus the node ↔ class
@@ -65,16 +65,28 @@ impl PatternCompression {
     }
 }
 
-/// Runs `compressB` on `g`.
+/// Runs `compressB` on `g`: freezes a CSR snapshot once and hands it to
+/// [`compress_b_csr`] — the whole pipeline (bisimulation refinement and
+/// quotient construction) runs over the snapshot, with no intermediate
+/// `LabeledGraph` materialized along the way.
 pub fn compress_b(g: &LabeledGraph) -> PatternCompression {
-    let partition = bisimulation_partition(g);
+    compress_b_csr(&g.freeze())
+}
+
+/// Runs `compressB` over an already-frozen CSR snapshot.
+pub fn compress_b_csr(g: &CsrGraph) -> PatternCompression {
+    let partition = bisimulation_partition_csr(g);
     let graph = build_quotient_graph(g, &partition);
     PatternCompression { graph, partition }
 }
 
 /// Builds the bisimulation quotient graph: labelled hypernodes, one edge per
-/// connected class pair (self loops preserved).
-pub(crate) fn build_quotient_graph(g: &LabeledGraph, partition: &BisimPartition) -> LabeledGraph {
+/// connected class pair (self loops preserved). The class edge list is
+/// bulk-inserted (sorted + deduplicated), not probed edge by edge.
+pub(crate) fn build_quotient_graph<G: GraphView>(
+    g: &G,
+    partition: &BisimPartition,
+) -> LabeledGraph {
     let classes = partition.class_count();
     let mut quotient = LabeledGraph::with_capacity(classes);
     for c in 0..classes {
@@ -90,11 +102,14 @@ pub(crate) fn build_quotient_graph(g: &LabeledGraph, partition: &BisimPartition)
             }
         }
     }
-    for (u, v) in g.edges() {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(g.edge_count());
+    for u in g.nodes() {
         let cu = partition.class_of(u);
-        let cv = partition.class_of(v);
-        quotient.add_edge(NodeId(cu), NodeId(cv));
+        for &v in g.out_neighbors(u) {
+            edges.push((NodeId(cu), NodeId(partition.class_of(v))));
+        }
     }
+    quotient.extend_edges(edges);
     quotient
 }
 

@@ -70,10 +70,10 @@ pub mod incremental;
 pub mod pattern;
 pub mod simulation;
 
-pub use bisim::{bisimulation_partition, BisimPartition};
+pub use bisim::{bisimulation_partition, bisimulation_partition_csr, BisimPartition};
 pub use bounded::bounded_match;
-pub use compress::{compress_b, PatternCompression};
+pub use compress::{compress_b, compress_b_csr, PatternCompression};
 pub use inc_match::IncrementalMatch;
 pub use incremental::{IncPatternStats, IncrementalPattern};
 pub use pattern::{EdgeBound, MatchRelation, Pattern};
-pub use simulation::simulation_match;
+pub use simulation::{simulation_match, simulation_match_csr};

@@ -8,7 +8,7 @@
 //! maximum match relation `SM ⊆ Vp × V` (Lemma 1), or the empty relation if
 //! the pattern does not match.
 
-use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_graph::NodeId;
 
 /// The bound `fe(u, u')` attached to a pattern edge.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -188,17 +188,22 @@ impl MatchRelation {
 
 /// Resolves the pattern's label names against a data graph's interner,
 /// returning for each pattern node the interned label (or `None` if the
-/// label does not occur in the graph at all).
-pub fn resolve_labels(pattern: &Pattern, g: &LabeledGraph) -> Vec<Option<qpgc_graph::Label>> {
+/// label does not occur in the graph at all). Accepts any
+/// [`qpgc_graph::GraphView`] (mutable graph or CSR snapshot).
+pub fn resolve_labels<G: qpgc_graph::GraphView>(
+    pattern: &Pattern,
+    g: &G,
+) -> Vec<Option<qpgc_graph::Label>> {
     pattern
         .nodes()
-        .map(|u| g.interner().get(pattern.label(u)))
+        .map(|u| g.lookup_label(pattern.label(u)))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qpgc_graph::LabeledGraph;
 
     #[test]
     fn build_pattern() {

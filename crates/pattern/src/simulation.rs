@@ -2,14 +2,29 @@
 //!
 //! Pattern queries "via graph simulation" are the special case of the
 //! paper's pattern queries where every edge bound is `1`: each pattern edge
-//! must be matched by a single data edge. The maximum simulation relation is
-//! computed by the classic refinement: start from label-compatible candidate
-//! sets and repeatedly remove a candidate `v` of pattern node `u` if some
-//! pattern edge `(u, u')` cannot be matched from `v`.
+//! must be matched by a single data edge.
+//!
+//! ## Hot-path implementation
+//!
+//! [`simulation_match_view`] computes the maximum simulation with the
+//! counter-based HHK refinement driven by **reverse adjacency**: for every
+//! pattern edge `(u, u')` and candidate `v` of `u` it maintains the number
+//! of children of `v` currently in `sim(u')`. When a node `w` is evicted
+//! from `sim(u')`, only the *parents* of `w` (one reverse-adjacency scan)
+//! have their counters decremented — a counter hitting zero evicts the
+//! parent in turn. Total work is `O(|Ep| · (|V| + |E|))`, instead of
+//! re-scanning every candidate's children until nothing changes. On a
+//! frozen [`CsrGraph`] the parent scans are contiguous slices of the
+//! reverse CSR arrays.
+//!
+//! The original fixpoint re-scan loop is retained as
+//! [`reference_simulation_match`] for differential testing.
 
-use qpgc_graph::{LabeledGraph, NodeId};
+use std::collections::VecDeque;
 
-use crate::pattern::{resolve_labels, MatchRelation, Pattern};
+use qpgc_graph::{CsrGraph, GraphView, LabeledGraph, NodeId};
+
+use crate::pattern::{resolve_labels, MatchRelation, Pattern, PatternNodeId};
 
 /// Computes the maximum graph-simulation match of `pattern` in `g`.
 ///
@@ -19,6 +34,118 @@ use crate::pattern::{resolve_labels, MatchRelation, Pattern};
 /// Every edge bound of the pattern is *interpreted as 1* regardless of its
 /// declared value; use [`crate::bounded::bounded_match`] for general bounds.
 pub fn simulation_match(g: &LabeledGraph, pattern: &Pattern) -> Option<MatchRelation> {
+    simulation_match_view(g, pattern)
+}
+
+/// [`simulation_match`] over a frozen CSR snapshot.
+pub fn simulation_match_csr(g: &CsrGraph, pattern: &Pattern) -> Option<MatchRelation> {
+    simulation_match_view(g, pattern)
+}
+
+/// The generic implementation behind [`simulation_match`] /
+/// [`simulation_match_csr`]: counter-based pruning over the reverse
+/// adjacency of any [`GraphView`].
+pub fn simulation_match_view<G: GraphView>(g: &G, pattern: &Pattern) -> Option<MatchRelation> {
+    if pattern.node_count() == 0 {
+        return None;
+    }
+    let labels = resolve_labels(pattern, g);
+    let n = g.node_count();
+    let np = pattern.node_count();
+
+    // Candidate sets and membership bitmaps, seeded by label.
+    let by_label = g.nodes_by_label();
+    let mut member: Vec<Vec<bool>> = vec![vec![false; n]; np];
+    for u in pattern.nodes() {
+        let cands = labels[u as usize].and_then(|l| by_label.get(&l));
+        match cands {
+            Some(cands) if !cands.is_empty() => {
+                for &v in cands {
+                    member[u as usize][v.index()] = true;
+                }
+            }
+            _ => return None,
+        }
+    }
+
+    // Pattern reverse adjacency: edge indices grouped by edge target.
+    let mut edges_into: Vec<Vec<usize>> = vec![Vec::new(); np];
+    for (ei, &(_, u2, _)) in pattern.edges().iter().enumerate() {
+        edges_into[u2 as usize].push(ei);
+    }
+
+    // count[ei][v] = number of children of v currently in sim(target(ei)),
+    // maintained for candidates v of source(ei). All counters are computed
+    // against the *initial* label-based membership first — evicting while
+    // counting would leave later counters missing decrements when the
+    // eviction queue drains. An eviction is pushed once (the bitmap is
+    // cleared at push time) and its parents' counters are decremented when
+    // popped.
+    let mut count: Vec<Vec<u32>> = vec![vec![0; n]; pattern.edge_count()];
+    for (ei, &(u, u2, _)) in pattern.edges().iter().enumerate() {
+        let u = u as usize;
+        for vi in 0..n {
+            if !member[u][vi] {
+                continue;
+            }
+            count[ei][vi] = g
+                .out_neighbors(NodeId(vi as u32))
+                .iter()
+                .filter(|w| member[u2 as usize][w.index()])
+                .count() as u32;
+        }
+    }
+    let mut queue: VecDeque<(PatternNodeId, NodeId)> = VecDeque::new();
+    for (ei, &(u, _, _)) in pattern.edges().iter().enumerate() {
+        let u = u as usize;
+        for vi in 0..n {
+            if member[u][vi] && count[ei][vi] == 0 {
+                member[u][vi] = false;
+                queue.push_back((u as PatternNodeId, NodeId(vi as u32)));
+            }
+        }
+    }
+
+    while let Some((u, v)) = queue.pop_front() {
+        // v left sim(u): every parent p of v loses one witness for every
+        // pattern edge pointing at u.
+        for &ei in &edges_into[u as usize] {
+            let u_src = pattern.edges()[ei].0 as usize;
+            for &p in g.in_neighbors(v) {
+                if !member[u_src][p.index()] {
+                    continue;
+                }
+                let c = &mut count[ei][p.index()];
+                debug_assert!(*c > 0, "counter underflow");
+                *c -= 1;
+                if *c == 0 {
+                    member[u_src][p.index()] = false;
+                    queue.push_back((u_src as PatternNodeId, p));
+                }
+            }
+        }
+    }
+
+    // Collect the surviving candidates (already in ascending node order).
+    let mut result = MatchRelation::empty(np);
+    for (u, members_of_u) in member.iter().enumerate() {
+        let survivors: Vec<NodeId> = members_of_u
+            .iter()
+            .enumerate()
+            .filter_map(|(vi, &m)| m.then_some(NodeId(vi as u32)))
+            .collect();
+        if survivors.is_empty() {
+            return None;
+        }
+        result.matches[u] = survivors;
+    }
+    Some(result)
+}
+
+/// The pre-CSR implementation: fixpoint re-scans over forward adjacency.
+/// Retained as the differential-testing oracle for
+/// [`simulation_match_view`].
+pub fn reference_simulation_match(g: &LabeledGraph, pattern: &Pattern) -> Option<MatchRelation> {
     if pattern.node_count() == 0 {
         return None;
     }
@@ -189,5 +316,52 @@ mod tests {
         let m = simulation_match(&g, &p).unwrap();
         assert_eq!(m.matches_of(b), &[NodeId(1), NodeId(2)]);
         assert_eq!(m.matches_of(c), &[NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn counter_pruning_matches_reference_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let alphabet = ["A", "B", "C"];
+        let mut rng = StdRng::seed_from_u64(19);
+        for round in 0..40 {
+            let n = rng.gen_range(2..30);
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+            let m = rng.gen_range(0..n * 3);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            let mut p = Pattern::new();
+            let pn = rng.gen_range(1..4usize);
+            for i in 0..pn {
+                p.add_node(alphabet[(round + i) % alphabet.len()]);
+            }
+            for _ in 0..rng.gen_range(0..4usize) {
+                let a = rng.gen_range(0..pn) as u32;
+                let b = rng.gen_range(0..pn) as u32;
+                p.add_edge(a, b, 1);
+            }
+            let fast = simulation_match(&g, &p);
+            let fast_csr = simulation_match_csr(&g.freeze(), &p);
+            let slow = reference_simulation_match(&g, &p);
+            match (fast, fast_csr, slow) {
+                (None, None, None) => {}
+                (Some(a), Some(b), Some(c)) => {
+                    assert_eq!(a.canonical(), c.canonical(), "round {round}");
+                    assert_eq!(b.canonical(), c.canonical(), "round {round} (csr)");
+                }
+                (a, b, c) => panic!(
+                    "round {round}: disagree — view {:?} csr {:?} reference {:?}",
+                    a.is_some(),
+                    b.is_some(),
+                    c.is_some()
+                ),
+            }
+        }
     }
 }

@@ -17,9 +17,10 @@
 //! (equivalent nodes in different SCCs provably do not reach each other —
 //! see the module docs of [`crate::equivalence`]).
 
-use qpgc_graph::transitive::transitive_reduction;
+use qpgc_graph::reach_sets::DagReach;
+use qpgc_graph::transitive::transitive_reduction_dag;
 use qpgc_graph::traversal;
-use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_graph::{CsrGraph, GraphView, LabeledGraph, NodeId};
 
 use crate::equivalence::{reachability_partition_with_chunk, ReachPartition};
 
@@ -94,8 +95,14 @@ pub fn compress_r(g: &LabeledGraph) -> ReachCompression {
     compress_r_with_chunk(g, qpgc_graph::reach_sets::DEFAULT_CHUNK)
 }
 
-/// [`compress_r`] with an explicit chunk width.
-pub fn compress_r_with_chunk(g: &LabeledGraph, chunk: usize) -> ReachCompression {
+/// Runs `compressR` over a frozen CSR snapshot.
+pub fn compress_r_csr(g: &CsrGraph) -> ReachCompression {
+    compress_r_with_chunk(g, qpgc_graph::reach_sets::DEFAULT_CHUNK)
+}
+
+/// [`compress_r`] with an explicit chunk width. Generic over [`GraphView`]:
+/// accepts the mutable graph or a CSR snapshot.
+pub fn compress_r_with_chunk<G: GraphView>(g: &G, chunk: usize) -> ReachCompression {
     let partition = reachability_partition_with_chunk(g, chunk);
     let graph = build_quotient_graph(g, &partition, true);
     ReachCompression { graph, partition }
@@ -114,38 +121,49 @@ pub fn compress_r_without_reduction(g: &LabeledGraph) -> ReachCompression {
 /// Builds the quotient graph of `partition` over `g`. With `reduce` set the
 /// edge set is transitively reduced (the paper's Fig. 5 lines 6–8);
 /// intra-class edges never appear (a class trivially "reaches itself").
-pub(crate) fn build_quotient_graph(
-    g: &LabeledGraph,
+///
+/// The class edge list is collected once, sorted and deduplicated, reduced
+/// directly on a [`DagReach`] built from that list, and bulk-inserted into
+/// the output — no intermediate `LabeledGraph` is materialized between the
+/// partition and the final quotient.
+pub(crate) fn build_quotient_graph<G: GraphView>(
+    g: &G,
     partition: &ReachPartition,
     reduce: bool,
 ) -> LabeledGraph {
     let classes = partition.class_count();
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(g.edge_count());
+    for u in g.nodes() {
+        let cu = partition.class_of(u);
+        for &v in g.out_neighbors(u) {
+            let cv = partition.class_of(v);
+            if cu != cv {
+                edges.push((cu, cv));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let kept: Vec<(NodeId, NodeId)> = if reduce {
+        // The quotient of the reachability equivalence relation is a DAG, so
+        // the transitive reduction is unique.
+        let dag = DagReach::from_edges(classes, edges)
+            .expect("the quotient of the reachability equivalence relation is a DAG");
+        transitive_reduction_dag(&dag, qpgc_graph::reach_sets::DEFAULT_CHUNK)
+    } else {
+        edges
+            .into_iter()
+            .map(|(a, b)| (NodeId(a), NodeId(b)))
+            .collect()
+    };
+
     let mut quotient = LabeledGraph::with_capacity(classes);
     for _ in 0..classes {
         quotient.add_node_with_label("σ");
     }
-    for (u, v) in g.edges() {
-        let cu = partition.class_of(u);
-        let cv = partition.class_of(v);
-        if cu != cv {
-            quotient.add_edge(NodeId(cu), NodeId(cv));
-        }
-    }
-    if !reduce {
-        return quotient;
-    }
-    // The quotient of the reachability equivalence relation is a DAG, so the
-    // transitive reduction is unique.
-    let kept = transitive_reduction(&quotient)
-        .expect("the quotient of the reachability equivalence relation is a DAG");
-    let mut reduced = LabeledGraph::with_capacity(classes);
-    for _ in 0..classes {
-        reduced.add_node_with_label("σ");
-    }
-    for (a, b) in kept {
-        reduced.add_edge(a, b);
-    }
-    reduced
+    quotient.extend_edges(kept);
+    quotient
 }
 
 #[cfg(test)]

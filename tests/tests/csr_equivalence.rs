@@ -1,0 +1,172 @@
+//! Property tests for the CSR snapshot representation: on 100+ seeded
+//! random graphs, `CsrGraph` must round-trip `LabeledGraph` exactly (nodes,
+//! edges, labels, degrees), and every analysis that was migrated to CSR —
+//! bisimulation, reachability equivalence, simulation — must produce results
+//! identical to the retained seed implementations.
+
+use qpgc_generators::pattern_gen::{random_pattern, PatternGenConfig};
+use qpgc_generators::synthetic::{random_graph, SyntheticConfig};
+use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_pattern::bisim::{bisimulation_partition_baseline, bisimulation_partition_csr};
+use qpgc_pattern::simulation::{reference_simulation_match, simulation_match_csr};
+use qpgc_reach::equivalence::{reachability_partition, reachability_partition_csr};
+
+/// The seeded graph population: 100+ graphs sweeping size, density and
+/// label-alphabet width.
+fn population() -> Vec<LabeledGraph> {
+    let mut graphs = Vec::new();
+    for seed in 0..108u64 {
+        let nodes = 2 + (seed as usize * 7) % 60;
+        let edges = (nodes * (1 + seed as usize % 4)) / 2 + 1;
+        let labels = 1 + (seed as usize) % 4;
+        graphs.push(random_graph(&SyntheticConfig::new(
+            nodes, edges, labels, seed,
+        )));
+    }
+    // A few denser / larger outliers.
+    for seed in 200..204u64 {
+        graphs.push(random_graph(&SyntheticConfig::new(300, 1500, 3, seed)));
+    }
+    graphs
+}
+
+fn sorted(xs: &[NodeId]) -> Vec<NodeId> {
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn csr_roundtrips_labeled_graph() {
+    for (i, g) in population().iter().enumerate() {
+        let csr = g.freeze();
+        assert_eq!(csr.node_count(), g.node_count(), "graph {i}: node count");
+        assert_eq!(csr.edge_count(), g.edge_count(), "graph {i}: edge count");
+        for v in g.nodes() {
+            assert_eq!(csr.label(v), g.label(v), "graph {i}: label of {v}");
+            assert_eq!(
+                csr.label_name(v),
+                g.label_name(v),
+                "graph {i}: label name of {v}"
+            );
+            assert_eq!(
+                csr.out_degree(v),
+                g.out_degree(v),
+                "graph {i}: out-degree of {v}"
+            );
+            assert_eq!(
+                csr.in_degree(v),
+                g.in_degree(v),
+                "graph {i}: in-degree of {v}"
+            );
+            assert_eq!(
+                csr.out_neighbors(v),
+                sorted(g.out_neighbors(v)),
+                "graph {i}: out-adjacency of {v}"
+            );
+            assert_eq!(
+                csr.in_neighbors(v),
+                sorted(g.in_neighbors(v)),
+                "graph {i}: in-adjacency of {v}"
+            );
+        }
+        // Thawing gives back the same graph.
+        let back = csr.to_graph();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = back.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2, "graph {i}: thawed edge set");
+        // The snapshot never uses more heap than the mutable representation.
+        assert!(
+            csr.heap_bytes() <= g.heap_bytes(),
+            "graph {i}: csr {} > labeled {}",
+            csr.heap_bytes(),
+            g.heap_bytes()
+        );
+    }
+}
+
+#[test]
+fn bisimulation_on_csr_matches_seed_implementation() {
+    for (i, g) in population().iter().enumerate() {
+        let fast = bisimulation_partition_csr(&g.freeze());
+        let seed_impl = bisimulation_partition_baseline(g);
+        assert_eq!(
+            fast.canonical(),
+            seed_impl.canonical(),
+            "graph {i}: bisimulation partitions differ"
+        );
+    }
+}
+
+#[test]
+fn reachability_partition_on_csr_matches_seed_implementation() {
+    for (i, g) in population().iter().enumerate() {
+        let on_csr = reachability_partition_csr(&g.freeze());
+        let on_labeled = reachability_partition(g);
+        assert_eq!(
+            on_csr.canonical(),
+            on_labeled.canonical(),
+            "graph {i}: reachability partitions differ"
+        );
+        // The cyclic flags must agree class-for-class; compare through the
+        // node-level view since class numbering may differ.
+        for v in g.nodes() {
+            assert_eq!(
+                on_csr.cyclic[on_csr.class_of(v) as usize],
+                on_labeled.cyclic[on_labeled.class_of(v) as usize],
+                "graph {i}: cyclic flag of {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_on_csr_matches_seed_implementation() {
+    for (i, g) in population().iter().enumerate() {
+        let pattern = random_pattern(g, &PatternGenConfig::new(2 + i % 3, 2 + i % 4, 1, i as u64));
+        let fast = simulation_match_csr(&g.freeze(), &pattern);
+        let seed_impl = reference_simulation_match(g, &pattern);
+        match (fast, seed_impl) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert_eq!(
+                a.canonical(),
+                b.canonical(),
+                "graph {i}: simulation relations differ"
+            ),
+            (a, b) => panic!(
+                "graph {i}: boolean answers differ (csr {:?}, seed {:?})",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+}
+
+#[test]
+fn compressions_built_from_csr_match_seed_built() {
+    use qpgc_pattern::compress::{compress_b, compress_b_csr};
+    use qpgc_reach::compress::{compress_r, compress_r_csr};
+    for (i, g) in population().iter().take(40).enumerate() {
+        let csr = g.freeze();
+        let rb = compress_b(g);
+        let rb_csr = compress_b_csr(&csr);
+        assert_eq!(
+            rb.partition.canonical(),
+            rb_csr.partition.canonical(),
+            "graph {i}: compressB partitions differ"
+        );
+        assert_eq!(rb.graph.size(), rb_csr.graph.size());
+        let rr = compress_r(g);
+        let rr_csr = compress_r_csr(&csr);
+        assert_eq!(
+            rr.partition.canonical(),
+            rr_csr.partition.canonical(),
+            "graph {i}: compressR partitions differ"
+        );
+        assert_eq!(rr.graph.size(), rr_csr.graph.size());
+    }
+}
