@@ -1,7 +1,7 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_2.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_3.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
@@ -12,7 +12,7 @@
 use qpgc_bench::perf::perf_snapshot;
 
 fn main() {
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_3.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -47,6 +47,12 @@ fn main() {
         eprintln!("  {name:>16}: {ms:>10.3} ms");
     }
     eprintln!("  bisim speedup (baseline/csr): {:.2}x", snap.bisim_speedup);
+    for row in &snap.bulk {
+        eprintln!(
+            "  bulk {} queries on {} @ {} thread(s): {:>10.3} ms ({:.0} qps)",
+            snap.serve_queries, snap.serve_dataset, row.threads, row.elapsed_ms, row.qps
+        );
+    }
 
     std::fs::write(&out_path, snap.to_json()).unwrap_or_else(|e| {
         eprintln!("failed to write {out_path}: {e}");

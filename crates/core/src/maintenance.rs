@@ -10,6 +10,7 @@ use qpgc_pattern::compress::PatternCompression;
 use qpgc_pattern::incremental::{IncPatternStats, IncrementalPattern};
 use qpgc_pattern::pattern::{MatchRelation, Pattern};
 use qpgc_reach::compress::ReachCompression;
+use qpgc_reach::equivalence::ReachPartition;
 use qpgc_reach::incremental::{IncStats, IncrementalReach};
 
 use crate::queries::ReachQuery;
@@ -53,6 +54,15 @@ impl MaintainedReachability {
     /// plus node ↔ hypernode indexes).
     pub fn compression(&self) -> ReachCompression {
         self.inc.to_compression()
+    }
+
+    /// Exports the current partition (node → hypernode index, member lists,
+    /// cyclic flags) with dense class ids, *without* materializing `Gr`.
+    /// This is the snapshot-export hook for serving layers that build their
+    /// own read-optimized quotient representation — pair it with
+    /// [`MaintainedReachability::graph`] to materialize class edges.
+    pub fn partition(&self) -> ReachPartition {
+        self.inc.partition()
     }
 }
 
@@ -142,6 +152,8 @@ mod tests {
             m.compression().partition.canonical(),
             scratch.partition.canonical()
         );
+        // The snapshot-export partition is the materialized one.
+        assert_eq!(m.partition().class_of, m.compression().partition.class_of);
     }
 
     #[test]

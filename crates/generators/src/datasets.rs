@@ -151,6 +151,18 @@ pub const REACHABILITY_DATASETS: &[DatasetSpec] = &[
     },
 ];
 
+/// The six datasets the paper's Fig. 12(d) plots 2-hop index memory for —
+/// one list shared by the experiment, its tests, and the perf snapshot so
+/// they cannot drift apart.
+pub const FIG12D_DATASETS: &[&str] = &[
+    "P2P",
+    "wikiVote",
+    "citHepTh",
+    "socEpinions",
+    "facebook",
+    "NotreDame",
+];
+
 /// The five labeled datasets of Table 2 (pattern preserving compression).
 pub const PATTERN_DATASETS: &[DatasetSpec] = &[
     DatasetSpec {

@@ -138,6 +138,21 @@ impl DagReach {
         self.closure_chunk(cols, Direction::Backward)
     }
 
+    /// Like [`DagReach::descendants_chunk`] but over an arbitrary set of
+    /// column nodes: bit `j` of the result for `v` corresponds to
+    /// `columns[j]`. This is the substrate of sampling estimators (e.g. the
+    /// 2-hop landmark-coverage estimator), which sweep a small random subset
+    /// of columns instead of every one.
+    pub fn descendants_for_columns(&self, columns: &[u32]) -> Vec<FixedBitSet> {
+        self.closure_columns(columns, Direction::Forward)
+    }
+
+    /// Like [`DagReach::ancestors_chunk`] but over an arbitrary set of
+    /// column nodes (see [`DagReach::descendants_for_columns`]).
+    pub fn ancestors_for_columns(&self, columns: &[u32]) -> Vec<FixedBitSet> {
+        self.closure_columns(columns, Direction::Backward)
+    }
+
     /// Full proper-descendant sets (one chunk covering every column). Only
     /// suitable for small DAGs; the chunked API should be preferred.
     pub fn full_descendants(&self) -> Vec<FixedBitSet> {
@@ -171,6 +186,38 @@ impl DagReach {
                 let wi = w as usize;
                 if wi >= cols.start && wi < cols.end {
                     acc.insert(wi - cols.start);
+                }
+            }
+            sets[v as usize] = acc;
+        }
+        sets
+    }
+
+    fn closure_columns(&self, columns: &[u32], dir: Direction) -> Vec<FixedBitSet> {
+        let n = self.node_count();
+        let width = columns.len();
+        // Column membership lookup: `pos[c]` is the bit index of node `c`,
+        // or `u32::MAX` when `c` is not a column.
+        let mut pos = vec![u32::MAX; n];
+        for (j, &c) in columns.iter().enumerate() {
+            pos[c as usize] = j as u32;
+        }
+        let mut sets = vec![FixedBitSet::with_capacity(width); n];
+        let order: Box<dyn Iterator<Item = u32> + '_> = match dir {
+            Direction::Forward => Box::new(self.topo.iter().rev().copied()),
+            Direction::Backward => Box::new(self.topo.iter().copied()),
+        };
+        for v in order {
+            let mut acc = std::mem::replace(&mut sets[v as usize], FixedBitSet::with_capacity(0));
+            let neighbors = match dir {
+                Direction::Forward => self.out(v),
+                Direction::Backward => self.inn(v),
+            };
+            for &w in neighbors {
+                acc.union_with(&sets[w as usize]);
+                let p = pos[w as usize];
+                if p != u32::MAX {
+                    acc.insert(p as usize);
                 }
             }
             sets[v as usize] = acc;
@@ -301,6 +348,31 @@ mod tests {
                         full[v].contains(chunk.start + j),
                         "mismatch v={v} col={}",
                         chunk.start + j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_subset_matches_full_closure() {
+        let d = diamond_dag();
+        let full_desc = d.full_descendants();
+        let full_anc = d.full_ancestors();
+        for columns in [vec![0u32, 3], vec![1], vec![2, 3], vec![]] {
+            let part_d = d.descendants_for_columns(&columns);
+            let part_a = d.ancestors_for_columns(&columns);
+            for v in 0..4usize {
+                for (j, &c) in columns.iter().enumerate() {
+                    assert_eq!(
+                        part_d[v].contains(j),
+                        full_desc[v].contains(c as usize),
+                        "desc mismatch v={v} col={c}"
+                    );
+                    assert_eq!(
+                        part_a[v].contains(j),
+                        full_anc[v].contains(c as usize),
+                        "anc mismatch v={v} col={c}"
                     );
                 }
             }

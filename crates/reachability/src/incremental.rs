@@ -432,11 +432,9 @@ impl IncrementalReach {
         changed
     }
 
-    /// Materializes the current state as a [`ReachCompression`] with a
-    /// freshly built (transitively reduced) compressed graph. Class `i` of
-    /// the result corresponds to the `i`-th active class in id order.
-    pub fn to_compression(&self) -> ReachCompression {
-        // Dense renumbering of active classes.
+    /// Dense renumbering of the active class ids (ascending id order) plus
+    /// the partition expressed in those dense ids.
+    fn dense_partition(&self) -> (HashMap<u32, u32>, ReachPartition) {
         let mut dense: HashMap<u32, u32> = HashMap::new();
         let mut members: Vec<Vec<NodeId>> = Vec::new();
         let mut cyclic: Vec<bool> = Vec::new();
@@ -451,6 +449,32 @@ impl IncrementalReach {
         for (v, &c) in self.class_of.iter().enumerate() {
             class_of[v] = dense[&c];
         }
+        (
+            dense,
+            ReachPartition {
+                class_of,
+                members,
+                cyclic,
+            },
+        )
+    }
+
+    /// The current partition with densely renumbered class ids (class `i` is
+    /// the `i`-th active class in id order — the same numbering
+    /// [`IncrementalReach::to_compression`] uses), *without* materializing
+    /// the compressed graph. Snapshot layers that build their own quotient
+    /// representation (e.g. a CSR snapshot with class edges collected in
+    /// parallel) start from this.
+    pub fn partition(&self) -> ReachPartition {
+        self.dense_partition().1
+    }
+
+    /// Materializes the current state as a [`ReachCompression`] with a
+    /// freshly built (transitively reduced) compressed graph. Class `i` of
+    /// the result corresponds to the `i`-th active class in id order.
+    pub fn to_compression(&self) -> ReachCompression {
+        let (dense, partition) = self.dense_partition();
+        let members = &partition.members;
 
         // Quotient graph + transitive reduction.
         let mut quotient = LabeledGraph::with_capacity(members.len());
@@ -472,11 +496,7 @@ impl IncrementalReach {
 
         ReachCompression {
             graph: reduced,
-            partition: ReachPartition {
-                class_of,
-                members,
-                cyclic,
-            },
+            partition,
         }
     }
 }
@@ -669,6 +689,21 @@ mod tests {
                 "case {case} diverged"
             );
         }
+    }
+
+    #[test]
+    fn partition_export_matches_materialized_compression() {
+        let mut g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut inc = IncrementalReach::new(&g);
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(3), NodeId(4));
+        batch.delete(NodeId(2), NodeId(3));
+        inc.apply(&mut g, &batch);
+        let part = inc.partition();
+        let comp = inc.to_compression();
+        assert_eq!(part.class_of, comp.partition.class_of);
+        assert_eq!(part.members, comp.partition.members);
+        assert_eq!(part.cyclic, comp.partition.cyclic);
     }
 
     #[test]

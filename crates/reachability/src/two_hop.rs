@@ -8,6 +8,22 @@
 //! [`TwoHopIndex::build`]), which produces a valid 2-hop cover for
 //! reachability: `u` reaches `w` iff `L_out(u) ∩ L_in(w) ≠ ∅`.
 //!
+//! ## Labels are landmark *ranks*, not node ids
+//!
+//! Label lists store the landmark's **processing rank** (its position in the
+//! coverage order), not its node id. The pruning test inside the build — "do
+//! the labels written so far already prove this pair?" — is a sorted-merge
+//! intersection, and ranks are pushed in strictly ascending order by
+//! construction, so every list is sorted at all times *during* the build.
+//! Storing raw node ids (as an earlier revision did) silently broke the
+//! pruning whenever id order diverged from coverage order: the mid-build
+//! lists were unsorted, the merge intersection missed matches, and the
+//! pruning rule kept almost nothing out. Queries stayed correct (failed
+//! pruning only *adds* labels) but the index bloated. The legacy
+//! construction is kept as [`TwoHopIndex::build_with_node_id_labels`] so the
+//! size win of the rank fix stays measurable (`BENCH_3.json`, bench tests).
+//! [`TwoHopIndex::landmark`] maps a rank back to its node for debugging.
+//!
 //! Because the compressed graph is "just a graph", the very same index can
 //! be built over `Gr` — this is the paper's claim that existing indexing
 //! techniques apply to compressed graphs unchanged.
@@ -16,15 +32,135 @@ use std::collections::VecDeque;
 
 use qpgc_graph::reach_sets::{DagReach, DEFAULT_CHUNK};
 use qpgc_graph::scc::Condensation;
-use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_graph::{GraphView, NodeId};
+
+/// Landmark-coverage estimation strategy used to order landmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverageEstimate {
+    /// Exact `(|anc| + 1) · (|desc| + 1)` scores via chunked reach-set
+    /// sweeps over the condensation. Cost grows with `|Vscc|²/w`; fine up to
+    /// bench scales, expensive toward millions of nodes.
+    Exact,
+    /// Sampled sweep: only `samples` condensation columns are swept (one
+    /// forward, one backward pass reusing [`DagReach::from_condensation`]),
+    /// and per-node ancestor/descendant weights are Horvitz–Thompson scaled
+    /// by `|Vscc| / samples`. Ordering quality degrades gracefully; query
+    /// *correctness* never depends on the ordering, only index size does.
+    Sampled {
+        /// Number of condensation columns to sweep (clamped to `|Vscc|`).
+        samples: usize,
+        /// Seed of the deterministic column sampler.
+        seed: u64,
+    },
+}
+
+/// Build-time options for [`TwoHopIndex::build_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct TwoHopConfig {
+    /// How landmark coverage scores are computed.
+    pub coverage: CoverageEstimate,
+    /// Run the forward and backward pruned BFS of each landmark on two
+    /// threads (one long-lived worker for the forward direction, the caller
+    /// for the backward one, exchanging per-landmark label snapshots over
+    /// channels). The two passes read disjoint state, so the result is
+    /// bit-identical to the sequential build.
+    pub parallel: bool,
+}
+
+impl Default for TwoHopConfig {
+    fn default() -> Self {
+        TwoHopConfig {
+            coverage: CoverageEstimate::Exact,
+            parallel: false,
+        }
+    }
+}
 
 /// A 2-hop reachability labelling of a graph.
 #[derive(Clone, Debug)]
 pub struct TwoHopIndex {
-    /// `out_labels[v]`: landmarks reachable *from* `v` (sorted).
+    /// `out_labels[v]`: ranks of landmarks reachable *from* `v` (ascending).
     out_labels: Vec<Vec<u32>>,
-    /// `in_labels[v]`: landmarks that reach `v` (sorted).
+    /// `in_labels[v]`: ranks of landmarks that reach `v` (ascending).
     in_labels: Vec<Vec<u32>>,
+    /// `landmark_of_rank[r]`: the node processed as the `r`-th landmark.
+    landmark_of_rank: Vec<NodeId>,
+}
+
+/// `true` iff the two ascending `u32` slices share an element.
+fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Reusable per-pass BFS state (`visited` is all-`false` between passes).
+struct Scratch {
+    visited: Vec<bool>,
+    touched: Vec<usize>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            visited: vec![false; n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// One pruned BFS from `landmark`, pushing `rank` into `labels` (the `in`
+/// lists when walking forward, the `out` lists when walking backward).
+/// `landmark_opposite` is the landmark's *other-direction* label list as of
+/// the start of this landmark's processing; together with `labels[u]` it
+/// decides the pruning test ("is this pair already covered?").
+fn pruned_pass<G: GraphView>(
+    g: &G,
+    landmark: NodeId,
+    rank: u32,
+    forward: bool,
+    labels: &mut [Vec<u32>],
+    landmark_opposite: &[u32],
+    scratch: &mut Scratch,
+) {
+    let Scratch { visited, touched } = scratch;
+    let mut queue = VecDeque::new();
+    queue.push_back(landmark);
+    visited[landmark.index()] = true;
+    touched.push(landmark.index());
+    while let Some(u) = queue.pop_front() {
+        // Prune: if the labels built so far already prove the pair
+        // (landmark, u) — resp. (u, landmark) — this landmark adds nothing
+        // here or beyond.
+        if u != landmark && sorted_intersects(landmark_opposite, &labels[u.index()]) {
+            continue;
+        }
+        if u != landmark {
+            labels[u.index()].push(rank);
+        }
+        let neighbors = if forward {
+            g.out_neighbors(u)
+        } else {
+            g.in_neighbors(u)
+        };
+        for &w in neighbors {
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                touched.push(w.index());
+                queue.push_back(w);
+            }
+        }
+    }
+    for &t in touched.iter() {
+        visited[t] = false;
+    }
+    touched.clear();
 }
 
 impl TwoHopIndex {
@@ -38,31 +174,104 @@ impl TwoHopIndex {
     /// ancestor/descendant sets intact while flattening degrees, and Fig.
     /// 12(d) relies on the index over `Gr` not regressing past the index
     /// over `G`.
-    pub fn build(g: &LabeledGraph) -> Self {
+    pub fn build<G: GraphView + Sync>(g: &G) -> Self {
+        Self::build_with(g, &TwoHopConfig::default())
+    }
+
+    /// [`TwoHopIndex::build`] with explicit coverage-estimation and
+    /// parallelism options.
+    pub fn build_with<G: GraphView + Sync>(g: &G, config: &TwoHopConfig) -> Self {
         let n = g.node_count();
-        let scores = coverage_scores(g);
-        let mut order: Vec<NodeId> = g.nodes().collect();
-        order.sort_by_key(|&v| {
-            std::cmp::Reverse((scores[v.index()], g.out_degree(v) + g.in_degree(v)))
-        });
+        let order = landmark_order(g, config.coverage);
 
         let mut index = TwoHopIndex {
             out_labels: vec![Vec::new(); n],
             in_labels: vec![Vec::new(); n],
+            landmark_of_rank: order.clone(),
+        };
+
+        if config.parallel && n > 0 {
+            index.in_labels = parallel_passes(g, &order, &mut index.out_labels);
+        } else {
+            let mut scratch_fwd = Scratch::new(n);
+            let mut scratch_bwd = Scratch::new(n);
+            for (rank, &landmark) in order.iter().enumerate() {
+                let rank = rank as u32;
+                let TwoHopIndex {
+                    out_labels,
+                    in_labels,
+                    ..
+                } = &mut index;
+                // Forward: landmark reaches u  ⇒  rank ∈ in_labels[u].
+                pruned_pass(
+                    g,
+                    landmark,
+                    rank,
+                    true,
+                    in_labels,
+                    &out_labels[landmark.index()],
+                    &mut scratch_fwd,
+                );
+                // Backward: u reaches landmark  ⇒  rank ∈ out_labels[u].
+                pruned_pass(
+                    g,
+                    landmark,
+                    rank,
+                    false,
+                    out_labels,
+                    &in_labels[landmark.index()],
+                    &mut scratch_bwd,
+                );
+
+                // The landmark trivially covers itself in both directions.
+                index.out_labels[landmark.index()].push(rank);
+                index.in_labels[landmark.index()].push(rank);
+            }
+        }
+
+        // Ranks are pushed in ascending processing order, so every list is
+        // already sorted — the invariant the mid-build pruning relies on.
+        debug_assert!(index
+            .out_labels
+            .iter()
+            .chain(index.in_labels.iter())
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        index
+    }
+
+    /// The pre-rank-fix construction: label lists hold raw node ids pushed
+    /// in landmark processing order and are only sorted *after* the build,
+    /// so the mid-build pruning intersection runs on unsorted lists and
+    /// silently misses most covered pairs. Queries are still exact (failed
+    /// pruning only adds labels); the index is just needlessly large. Kept
+    /// so tests and `BENCH_3.json` can quantify the rank fix — do not use
+    /// for anything else.
+    pub fn build_with_node_id_labels<G: GraphView + Sync>(g: &G) -> Self {
+        let n = g.node_count();
+        let order = landmark_order(g, CoverageEstimate::Exact);
+
+        let mut index = TwoHopIndex {
+            out_labels: vec![Vec::new(); n],
+            in_labels: vec![Vec::new(); n],
+            landmark_of_rank: order.clone(),
         };
 
         let mut visited = vec![false; n];
         let mut touched: Vec<usize> = Vec::new();
         for &landmark in &order {
-            // Forward pruned BFS: landmark reaches u  ⇒  landmark ∈ in_labels[u].
             let mut queue = VecDeque::new();
             queue.push_back(landmark);
             visited[landmark.index()] = true;
             touched.push(landmark.index());
             while let Some(u) = queue.pop_front() {
-                // Prune: if the labels built so far already prove that
-                // `landmark` reaches `u`, the landmark adds nothing here.
-                if u != landmark && index.covered(landmark, u) {
+                // The buggy pruning test: a merge intersection over lists
+                // that are NOT sorted mid-build.
+                if u != landmark
+                    && sorted_intersects(
+                        &index.out_labels[landmark.index()],
+                        &index.in_labels[u.index()],
+                    )
+                {
                     continue;
                 }
                 if u != landmark {
@@ -81,13 +290,17 @@ impl TwoHopIndex {
             }
             touched.clear();
 
-            // Backward pruned BFS: u reaches landmark ⇒ landmark ∈ out_labels[u].
             let mut queue = VecDeque::new();
             queue.push_back(landmark);
             visited[landmark.index()] = true;
             touched.push(landmark.index());
             while let Some(u) = queue.pop_front() {
-                if u != landmark && index.covered(u, landmark) {
+                if u != landmark
+                    && sorted_intersects(
+                        &index.out_labels[u.index()],
+                        &index.in_labels[landmark.index()],
+                    )
+                {
                     continue;
                 }
                 if u != landmark {
@@ -106,14 +319,14 @@ impl TwoHopIndex {
             }
             touched.clear();
 
-            // The landmark trivially covers itself in both directions.
             index.out_labels[landmark.index()].push(landmark.0);
             index.in_labels[landmark.index()].push(landmark.0);
             index.out_labels[landmark.index()].sort_unstable();
             index.in_labels[landmark.index()].sort_unstable();
         }
 
-        // Keep all label lists sorted for the merge-style intersection.
+        // The late sort that made *queries* work despite the broken
+        // mid-build pruning.
         for v in 0..n {
             index.out_labels[v].sort_unstable();
             index.in_labels[v].sort_unstable();
@@ -131,18 +344,18 @@ impl TwoHopIndex {
     }
 
     fn covered(&self, u: NodeId, w: NodeId) -> bool {
-        let a = &self.out_labels[u.index()];
-        let b = &self.in_labels[w.index()];
-        // Sorted-merge intersection test.
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
-            }
-        }
-        false
+        sorted_intersects(&self.out_labels[u.index()], &self.in_labels[w.index()])
+    }
+
+    /// The node processed as the `rank`-th landmark (the debugging map from
+    /// label values back to nodes).
+    pub fn landmark(&self, rank: u32) -> NodeId {
+        self.landmark_of_rank[rank as usize]
+    }
+
+    /// The full landmark processing order, indexable by rank.
+    pub fn landmark_order(&self) -> &[NodeId] {
+        &self.landmark_of_rank
     }
 
     /// Total number of label entries (a proxy for index size).
@@ -152,36 +365,148 @@ impl TwoHopIndex {
     }
 
     /// Approximate heap footprint of the index in bytes — the quantity
-    /// plotted in Fig. 12(d).
+    /// plotted in Fig. 12(d). Counts the label entries, the two outer
+    /// `Vec<Vec<u32>>` spines (whose inner `Vec` headers live inside the
+    /// outer allocation), and the rank → node map, following the
+    /// capacity-based convention of `LabeledGraph::heap_bytes` /
+    /// `CsrGraph::heap_bytes`. An earlier revision charged the inner-header
+    /// cost per *populated* list instead of per spine slot, understating the
+    /// footprint whenever the spines were longer than their filled prefix.
     pub fn heap_bytes(&self) -> usize {
         let per_entry = std::mem::size_of::<u32>();
         let per_vec = std::mem::size_of::<Vec<u32>>();
-        self.out_labels
+        let entries: usize = self
+            .out_labels
             .iter()
             .chain(self.in_labels.iter())
-            .map(|v| v.capacity() * per_entry + per_vec)
-            .sum()
+            .map(|v| v.capacity() * per_entry)
+            .sum();
+        entries
+            + (self.out_labels.capacity() + self.in_labels.capacity()) * per_vec
+            + self.landmark_of_rank.capacity() * std::mem::size_of::<NodeId>()
     }
 }
 
-/// `(|anc(v)| + 1) · (|desc(v)| + 1)` for every node, computed through the
-/// SCC condensation with chunked bit-set sweeps so memory stays bounded on
-/// large graphs.
-fn coverage_scores(g: &LabeledGraph) -> Vec<u64> {
+/// The parallel build loop: one long-lived worker thread owns the `in`
+/// labels and runs every forward pass; the calling thread keeps the `out`
+/// labels and runs every backward pass. Per landmark the two sides exchange
+/// snapshots of the landmark's own (short) label lists over channels — the
+/// only state either pass reads from the other side — so the two passes of
+/// each landmark overlap while the result stays bit-identical to the
+/// sequential build. One thread spawn total, not one per landmark.
+///
+/// Ordering argument: the worker handles landmarks strictly in rank order,
+/// so when it snapshots `in_labels[landmark]` for rank `r` it has already
+/// finished the forward pass and self-push of every rank `< r` — exactly
+/// the state the sequential backward pass would read. Symmetrically the
+/// caller finishes backward pass and self-push of rank `r - 1` before
+/// snapshotting `out_labels[landmark]` for rank `r`. Within one landmark
+/// the forward pass writes only `in` labels (never the landmark's own) and
+/// the backward pass writes only `out` labels, so they share nothing.
+fn parallel_passes<G: GraphView + Sync>(
+    g: &G,
+    order: &[NodeId],
+    out_labels: &mut [Vec<u32>],
+) -> Vec<Vec<u32>> {
+    use std::sync::mpsc;
+
+    let n = g.node_count();
+    let (to_worker, work_rx) = mpsc::channel::<(NodeId, u32, Vec<u32>)>();
+    let (to_caller, snap_rx) = mpsc::channel::<Vec<u32>>();
+    std::thread::scope(|s| {
+        let forward_worker = s.spawn(move || {
+            let mut in_labels: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut scratch = Scratch::new(n);
+            while let Ok((landmark, rank, landmark_out)) = work_rx.recv() {
+                if to_caller.send(in_labels[landmark.index()].clone()).is_err() {
+                    break; // caller gone (panic unwinding); stop quietly
+                }
+                pruned_pass(
+                    g,
+                    landmark,
+                    rank,
+                    true,
+                    &mut in_labels,
+                    &landmark_out,
+                    &mut scratch,
+                );
+                in_labels[landmark.index()].push(rank);
+            }
+            in_labels
+        });
+
+        let mut scratch = Scratch::new(n);
+        for (rank, &landmark) in order.iter().enumerate() {
+            let rank = rank as u32;
+            to_worker
+                .send((landmark, rank, out_labels[landmark.index()].clone()))
+                .expect("forward worker hung up");
+            let landmark_in = snap_rx.recv().expect("forward worker hung up");
+            pruned_pass(
+                g,
+                landmark,
+                rank,
+                false,
+                out_labels,
+                &landmark_in,
+                &mut scratch,
+            );
+            out_labels[landmark.index()].push(rank);
+        }
+        drop(to_worker); // closes the channel; the worker drains and returns
+        forward_worker.join().expect("forward worker panicked")
+    })
+}
+
+/// Landmarks in descending estimated-coverage order (ties broken by total
+/// degree, then ascending node id — the sort is stable).
+fn landmark_order<G: GraphView>(g: &G, estimate: CoverageEstimate) -> Vec<NodeId> {
+    let scores = coverage_scores(g, estimate);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order
+        .sort_by_key(|&v| std::cmp::Reverse((scores[v.index()], g.out_degree(v) + g.in_degree(v))));
+    order
+}
+
+/// `(|anc(v)| + 1) · (|desc(v)| + 1)` for every node — exactly, or scaled up
+/// from a sampled column sweep — computed through the SCC condensation so
+/// memory stays bounded on large graphs.
+fn coverage_scores<G: GraphView>(g: &G, estimate: CoverageEstimate) -> Vec<u64> {
     let cond = Condensation::of(g);
     let dag = DagReach::from_condensation(&cond);
     let nc = cond.component_count();
+    let weight = |c: u32| cond.members(c).len() as u64;
+
     let mut desc = vec![0u64; nc];
     let mut anc = vec![0u64; nc];
-    for cols in dag.chunks(DEFAULT_CHUNK) {
-        let weight = |j: usize| cond.members((cols.start + j) as u32).len() as u64;
-        let d = dag.descendants_chunk(cols.clone());
-        let a = dag.ancestors_chunk(cols.clone());
-        for c in 0..nc {
-            desc[c] += d[c].ones().map(weight).sum::<u64>();
-            anc[c] += a[c].ones().map(weight).sum::<u64>();
+    match estimate {
+        CoverageEstimate::Sampled { samples, seed } if samples > 0 && samples < nc => {
+            // Sweep only the sampled columns and Horvitz–Thompson scale the
+            // hit weights: every column is included with probability
+            // `samples / nc`, so dividing by it makes the estimate unbiased.
+            let cols = sample_columns(nc, samples, seed);
+            let d = dag.descendants_for_columns(&cols);
+            let a = dag.ancestors_for_columns(&cols);
+            for c in 0..nc {
+                let dw: u64 = d[c].ones().map(|j| weight(cols[j])).sum();
+                let aw: u64 = a[c].ones().map(|j| weight(cols[j])).sum();
+                desc[c] = dw * nc as u64 / samples as u64;
+                anc[c] = aw * nc as u64 / samples as u64;
+            }
+        }
+        _ => {
+            for cols in dag.chunks(DEFAULT_CHUNK) {
+                let w = |j: usize| weight((cols.start + j) as u32);
+                let d = dag.descendants_chunk(cols.clone());
+                let a = dag.ancestors_chunk(cols.clone());
+                for c in 0..nc {
+                    desc[c] += d[c].ones().map(w).sum::<u64>();
+                    anc[c] += a[c].ones().map(w).sum::<u64>();
+                }
+            }
         }
     }
+
     g.nodes()
         .map(|v| {
             let c = cond.component_of(v);
@@ -196,10 +521,31 @@ fn coverage_scores(g: &LabeledGraph) -> Vec<u64> {
         .collect()
 }
 
+/// `k` distinct column ids out of `0..nc`, chosen by a seeded partial
+/// Fisher–Yates shuffle (xorshift64* stream), returned sorted.
+fn sample_columns(nc: usize, k: usize, seed: u64) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..nc as u32).collect();
+    let mut state = seed.wrapping_mul(2) | 1; // never zero
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for i in 0..k {
+        let j = i + (next() as usize % (nc - i));
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.sort_unstable();
+    ids
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use qpgc_graph::traversal::bfs_reachable;
+    use qpgc_graph::LabeledGraph;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -209,6 +555,21 @@ mod tests {
             g.add_node_with_label("X");
         }
         for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    fn random_graph(rng: &mut StdRng) -> LabeledGraph {
+        let n = rng.gen_range(2..30);
+        let m = rng.gen_range(0..n * 3);
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node_with_label("X");
+        }
+        for _ in 0..m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
             g.add_edge(NodeId(u), NodeId(v));
         }
         g
@@ -249,18 +610,90 @@ mod tests {
     fn exact_on_random_graphs() {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
-            let n = rng.gen_range(2..30);
-            let m = rng.gen_range(0..n * 3);
-            let mut g = LabeledGraph::new();
-            for _ in 0..n {
-                g.add_node_with_label("X");
+            assert_matches_bfs(&random_graph(&mut rng));
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let par = TwoHopConfig {
+            parallel: true,
+            ..TwoHopConfig::default()
+        };
+        for _ in 0..15 {
+            let g = random_graph(&mut rng);
+            let seq_idx = TwoHopIndex::build(&g);
+            let par_idx = TwoHopIndex::build_with(&g, &par);
+            assert_eq!(seq_idx.out_labels, par_idx.out_labels);
+            assert_eq!(seq_idx.in_labels, par_idx.in_labels);
+            assert_eq!(seq_idx.landmark_of_rank, par_idx.landmark_of_rank);
+        }
+    }
+
+    #[test]
+    fn sampled_coverage_stays_exact_on_queries() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = TwoHopConfig {
+            coverage: CoverageEstimate::Sampled {
+                samples: 4,
+                seed: 99,
+            },
+            parallel: false,
+        };
+        for _ in 0..15 {
+            let g = random_graph(&mut rng);
+            let idx = TwoHopIndex::build_with(&g, &cfg);
+            for u in g.nodes() {
+                for w in g.nodes() {
+                    assert_eq!(
+                        idx.query(u, w),
+                        bfs_reachable(&g, u, w),
+                        "sampled index differs for ({u}, {w})"
+                    );
+                }
             }
-            for _ in 0..m {
-                let u = rng.gen_range(0..n) as u32;
-                let v = rng.gen_range(0..n) as u32;
-                g.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+
+    #[test]
+    fn rank_labels_never_exceed_legacy_node_id_labels() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut strictly_smaller_somewhere = false;
+        for _ in 0..25 {
+            let g = random_graph(&mut rng);
+            let ranked = TwoHopIndex::build(&g);
+            let legacy = TwoHopIndex::build_with_node_id_labels(&g);
+            assert!(
+                ranked.label_entries() <= legacy.label_entries(),
+                "rank fix grew the index: {} > {}",
+                ranked.label_entries(),
+                legacy.label_entries()
+            );
+            strictly_smaller_somewhere |= ranked.label_entries() < legacy.label_entries();
+            // Both are exact — the fix changes size, never answers.
+            for u in g.nodes() {
+                for w in g.nodes() {
+                    assert_eq!(ranked.query(u, w), legacy.query(u, w));
+                }
             }
-            assert_matches_bfs(&g);
+        }
+        assert!(
+            strictly_smaller_somewhere,
+            "pruning fix never pruned anything across 25 random graphs"
+        );
+    }
+
+    #[test]
+    fn rank_mapping_roundtrips() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let idx = TwoHopIndex::build(&g);
+        assert_eq!(idx.landmark_order().len(), 5);
+        let mut seen: Vec<u32> = idx.landmark_order().iter().map(|n| n.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        for rank in 0..5u32 {
+            assert_eq!(idx.landmark(rank), idx.landmark_order()[rank as usize]);
         }
     }
 
@@ -269,7 +702,15 @@ mod tests {
         let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
         let idx = TwoHopIndex::build(&g);
         assert!(idx.label_entries() > 0);
-        assert!(idx.heap_bytes() > 0);
+        // The outer spines alone account for 2 · n inner-Vec headers plus
+        // the rank map; entries come on top.
+        let spine_floor =
+            2 * 4 * std::mem::size_of::<Vec<u32>>() + 4 * std::mem::size_of::<NodeId>();
+        assert!(
+            idx.heap_bytes() >= spine_floor + idx.label_entries() * std::mem::size_of::<u32>(),
+            "heap_bytes {} below spine floor {spine_floor} + entries",
+            idx.heap_bytes()
+        );
     }
 
     #[test]
@@ -277,5 +718,17 @@ mod tests {
         let g = LabeledGraph::new();
         let idx = TwoHopIndex::build(&g);
         assert_eq!(idx.label_entries(), 0);
+    }
+
+    #[test]
+    fn works_on_csr_snapshots() {
+        let g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let csr = g.freeze();
+        let idx = TwoHopIndex::build(&csr);
+        for u in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(idx.query(u, w), bfs_reachable(&g, u, w));
+            }
+        }
     }
 }

@@ -1,0 +1,51 @@
+//! # qpgc_serve — snapshot-based concurrent query serving
+//!
+//! The paper's punchline is that compressed graphs are "just graphs": any
+//! existing query infrastructure can serve them directly. This crate is that
+//! infrastructure in miniature — a read-optimized, concurrently-served view
+//! over the compressions maintained by [`qpgc::maintenance`].
+//!
+//! ## Architecture
+//!
+//! * [`Snapshot`] — an immutable, versioned view of one compression state:
+//!   the CSR form of `Gr`, the node → hypernode index, the cyclic flags,
+//!   an optional [`TwoHopIndex`] over `Gr`, and (optionally) the pattern
+//!   compression. Everything a query needs, nothing a writer can touch.
+//! * [`CompressedStore`] — owns the current `Arc<Snapshot>` behind a
+//!   pointer-swap. Readers call [`CompressedStore::load`], which clones the
+//!   `Arc` (the read lock is held only for the pointer copy — never during
+//!   query evaluation), and then answer any number of queries lock-free on
+//!   the immutable snapshot. A single writer applies [`UpdateBatch`]es
+//!   through the incremental-maintenance façades and publishes a fresh
+//!   snapshot atomically; readers holding the old `Arc` keep a consistent
+//!   pre-batch view until they re-`load`.
+//! * [`bulk_reachable`] — shards a query batch across `std::thread::scope`
+//!   workers, all reading the same shared snapshot.
+//! * Snapshot *construction* is parallel where it is embarrassingly so: the
+//!   per-class edge materialization shards the node range across scoped
+//!   threads ([`parallel::class_edges`]), and the optional 2-hop index can
+//!   run its per-landmark forward/backward label passes on two threads
+//!   (`TwoHopConfig::parallel`).
+//!
+//! ## Consistency model
+//!
+//! Snapshots are immutable and versioned. A reader sees exactly the state
+//! `R(G ⊕ ΔG₁ ⊕ … ⊕ ΔGₖ)` for the `k` batches applied before its `load` —
+//! never a partially-applied batch, never a mix of two states. The
+//! concurrency tests pin this down by checking every concurrent answer
+//! against a BFS oracle on the exact graph version the snapshot advertises.
+//!
+//! [`TwoHopIndex`]: qpgc_reach::two_hop::TwoHopIndex
+//! [`UpdateBatch`]: qpgc_graph::UpdateBatch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod parallel;
+pub mod snapshot;
+pub mod store;
+
+pub use bulk::bulk_reachable;
+pub use snapshot::Snapshot;
+pub use store::{ApplyReport, CompressedStore, StoreConfig};

@@ -1,0 +1,244 @@
+//! The immutable, versioned view served to readers.
+
+use qpgc_graph::ids::LabelInterner;
+use qpgc_graph::reach_sets::{DagReach, DEFAULT_CHUNK};
+use qpgc_graph::transitive::transitive_reduction_dag;
+use qpgc_graph::traversal::bfs_reachable;
+use qpgc_graph::{CsrGraph, LabeledGraph, NodeId};
+use qpgc_pattern::bounded::bounded_match;
+use qpgc_pattern::compress::PatternCompression;
+use qpgc_pattern::pattern::{MatchRelation, Pattern};
+use qpgc_reach::equivalence::ReachPartition;
+use qpgc_reach::two_hop::TwoHopIndex;
+
+use crate::parallel;
+use crate::store::StoreConfig;
+
+/// One immutable compression state, read-optimized for serving.
+///
+/// A `Snapshot` is built once by the writer and never mutated; any number of
+/// readers query it concurrently without synchronization. The reachability
+/// side is always present (CSR `Gr`, node → hypernode index, cyclic flags,
+/// optionally a 2-hop index over `Gr`); the pattern side is present when the
+/// owning store was configured with `serve_patterns`.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    version: u64,
+    gr: CsrGraph,
+    class_of: Vec<u32>,
+    cyclic: Vec<bool>,
+    two_hop: Option<TwoHopIndex>,
+    pattern: Option<PatternCompression>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from the parts exported by the maintenance
+    /// façades. Class edges are materialized in parallel
+    /// ([`parallel::class_edges`]), transitively reduced on a [`DagReach`]
+    /// over the class-edge list, and frozen into CSR; the optional 2-hop
+    /// index is built over that CSR quotient.
+    pub(crate) fn build(
+        version: u64,
+        g: &LabeledGraph,
+        partition: ReachPartition,
+        pattern: Option<PatternCompression>,
+        config: &StoreConfig,
+    ) -> Snapshot {
+        let classes = partition.class_count();
+        let threads = if g.node_count() < 4096 {
+            1 // spawn overhead dwarfs the scan on small graphs
+        } else {
+            config.threads
+        };
+        let edges = parallel::class_edges(g, &partition.class_of, threads);
+        let dag = DagReach::from_edges(classes, edges)
+            .expect("the quotient of the reachability equivalence relation is a DAG");
+        let kept = transitive_reduction_dag(&dag, DEFAULT_CHUNK);
+        let mut interner = LabelInterner::new();
+        let sigma = interner.intern("σ");
+        let gr = CsrGraph::from_edges(vec![sigma; classes], interner, kept);
+        let two_hop = config
+            .two_hop
+            .as_ref()
+            .map(|cfg| TwoHopIndex::build_with(&gr, cfg));
+        Snapshot {
+            version,
+            gr,
+            class_of: partition.class_of,
+            cyclic: partition.cyclic,
+            two_hop,
+            pattern,
+        }
+    }
+
+    /// The number of batches applied before this snapshot was taken (the
+    /// initial snapshot is version 0).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The compressed reachability graph `Gr` in CSR form.
+    pub fn compressed_graph(&self) -> &CsrGraph {
+        &self.gr
+    }
+
+    /// The 2-hop index over `Gr`, when the store was configured to build
+    /// one.
+    pub fn two_hop(&self) -> Option<&TwoHopIndex> {
+        self.two_hop.as_ref()
+    }
+
+    /// The pattern compression, when the store was configured with
+    /// `serve_patterns`.
+    pub fn pattern_view(&self) -> Option<&PatternCompression> {
+        self.pattern.as_ref()
+    }
+
+    /// The hypernode of `Gr` containing original node `v`, or `None` for
+    /// node ids outside this snapshot's graph.
+    pub fn class_of(&self, v: NodeId) -> Option<u32> {
+        self.class_of.get(v.index()).copied()
+    }
+
+    /// Number of hypernodes (`|Vr|`).
+    pub fn class_count(&self) -> usize {
+        self.gr.node_count()
+    }
+
+    /// Number of original nodes this snapshot covers.
+    pub fn node_count(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// Answers the reachability query `QR(v, w)` posed against the original
+    /// graph: endpoints are rewritten to hypernodes in O(1), the same-class
+    /// corner case is answered by the cyclic flag, and distinct classes go
+    /// through the 2-hop index when present, BFS over the CSR quotient
+    /// otherwise. Node ids outside the snapshot reach only themselves.
+    pub fn reachable(&self, v: NodeId, w: NodeId) -> bool {
+        if v == w {
+            return true;
+        }
+        let (Some(cv), Some(cw)) = (self.class_of(v), self.class_of(w)) else {
+            return false;
+        };
+        if cv == cw {
+            return self.cyclic[cv as usize];
+        }
+        match &self.two_hop {
+            Some(idx) => idx.query(NodeId(cv), NodeId(cw)),
+            None => bfs_reachable(&self.gr, NodeId(cv), NodeId(cw)),
+        }
+    }
+
+    /// Answers a pattern query on the compressed graph and expands
+    /// hypernodes back to original nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store was built without `serve_patterns` — pattern
+    /// serving must be opted into because it doubles the writer's
+    /// maintenance work.
+    pub fn match_pattern(&self, query: &Pattern) -> Option<MatchRelation> {
+        let pc = self
+            .pattern
+            .as_ref()
+            .expect("pattern serving not enabled; set StoreConfig::serve_patterns");
+        let on_gr = bounded_match(&pc.graph, query)?;
+        Some(pc.post_process(&on_gr))
+    }
+
+    /// Approximate heap footprint of the snapshot in bytes (CSR quotient +
+    /// node index + cyclic flags + optional 2-hop index; the pattern view is
+    /// excluded, matching what the reachability-side figures compare).
+    pub fn heap_bytes(&self) -> usize {
+        self.gr.heap_bytes()
+            + self.class_of.capacity() * std::mem::size_of::<u32>()
+            + self.cyclic.capacity() * std::mem::size_of::<bool>()
+            + self.two_hop.as_ref().map_or(0, TwoHopIndex::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpgc::maintenance::MaintainedReachability;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(rng: &mut StdRng, n_max: usize) -> LabeledGraph {
+        let n = rng.gen_range(2..n_max);
+        let m = rng.gen_range(0..n * 3);
+        let mut g = LabeledGraph::new();
+        for _ in 0..n {
+            g.add_node_with_label("X");
+        }
+        for _ in 0..m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        g
+    }
+
+    fn build(g: &LabeledGraph, config: &StoreConfig) -> Snapshot {
+        let m = MaintainedReachability::new(g.clone());
+        Snapshot::build(0, m.graph(), m.partition(), None, config)
+    }
+
+    #[test]
+    fn snapshot_answers_match_bfs_with_and_without_index() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let bfs_only = StoreConfig::default();
+        let indexed = StoreConfig {
+            two_hop: Some(Default::default()),
+            ..StoreConfig::default()
+        };
+        for _ in 0..15 {
+            let g = random_graph(&mut rng, 25);
+            let plain = build(&g, &bfs_only);
+            let fancy = build(&g, &indexed);
+            assert!(plain.two_hop().is_none());
+            assert!(fancy.two_hop().is_some());
+            for u in g.nodes() {
+                for w in g.nodes() {
+                    let expected = bfs_reachable(&g, u, w);
+                    assert_eq!(plain.reachable(u, w), expected, "plain ({u},{w})");
+                    assert_eq!(fancy.reachable(u, w), expected, "indexed ({u},{w})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_nodes_reach_only_themselves() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("X");
+        let snap = build(&g, &StoreConfig::default());
+        let ghost = NodeId(42);
+        assert!(snap.reachable(ghost, ghost));
+        assert!(!snap.reachable(ghost, a));
+        assert!(!snap.reachable(a, ghost));
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let snap = build(&LabeledGraph::new(), &StoreConfig::default());
+        assert_eq!(snap.class_count(), 0);
+        assert_eq!(snap.node_count(), 0);
+        assert!(snap.heap_bytes() > 0 || snap.heap_bytes() == 0); // no panic
+    }
+
+    #[test]
+    fn snapshot_quotient_matches_compress_r() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..10 {
+            let g = random_graph(&mut rng, 30);
+            let snap = build(&g, &StoreConfig::default());
+            let rc = qpgc_reach::compress::compress_r(&g);
+            // Same number of hypernodes and (transitively reduced) edges.
+            assert_eq!(snap.class_count(), rc.graph.node_count());
+            assert_eq!(snap.compressed_graph().edge_count(), rc.graph.edge_count());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The concurrent store: one writer, any number of snapshot readers.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use qpgc::maintenance::{MaintainedPattern, MaintainedReachability};
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use qpgc_pattern::incremental::IncPatternStats;
+use qpgc_reach::incremental::IncStats;
+use qpgc_reach::two_hop::TwoHopConfig;
+
+use crate::snapshot::Snapshot;
+
+/// Configuration of a [`CompressedStore`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreConfig {
+    /// Worker threads for parallel snapshot construction and for
+    /// store-level bulk evaluation ([`CompressedStore::bulk_reachable`]);
+    /// `0` means `available_parallelism`.
+    pub threads: usize,
+    /// Build a 2-hop index over `Gr` in every snapshot (queries become
+    /// label intersections instead of BFS). `None` skips the index.
+    pub two_hop: Option<TwoHopConfig>,
+    /// Also maintain and serve the pattern-preserving compression. Off by
+    /// default: it duplicates the data graph into a second maintenance
+    /// façade and adds a bisimulation re-quotient to every batch.
+    pub serve_patterns: bool,
+}
+
+/// What one [`CompressedStore::apply`] call did.
+#[derive(Clone, Copy, Debug)]
+pub struct ApplyReport {
+    /// Version of the snapshot published by this batch.
+    pub version: u64,
+    /// Maintenance statistics of the reachability side.
+    pub reach: IncStats,
+    /// Maintenance statistics of the pattern side, when served.
+    pub pattern: Option<IncPatternStats>,
+}
+
+struct Writer {
+    reach: MaintainedReachability,
+    pattern: Option<MaintainedPattern>,
+    version: u64,
+}
+
+/// A concurrently-served, incrementally-maintained compressed graph store.
+///
+/// Readers and the writer never contend on query work:
+///
+/// * [`CompressedStore::load`] clones the current `Arc<Snapshot>` under a
+///   read lock held only for the pointer copy; all query evaluation then
+///   runs on the immutable snapshot with no synchronization at all.
+/// * [`CompressedStore::apply`] (serialized by the writer mutex) routes the
+///   batch through [`MaintainedReachability`] / [`MaintainedPattern`]
+///   (`incRCM` / `incPCM` — no recompression), builds a fresh snapshot,
+///   and publishes it by swapping the `Arc`. Readers holding the previous
+///   snapshot keep an internally consistent pre-batch view.
+///
+/// Snapshot construction cost is the price of publication, not of queries;
+/// it is parallelized where embarrassingly possible (class-edge
+/// materialization, 2-hop build passes).
+pub struct CompressedStore {
+    config: StoreConfig,
+    writer: Mutex<Writer>,
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl CompressedStore {
+    /// Compresses `g`, builds the version-0 snapshot, and takes ownership of
+    /// the graph for future maintenance.
+    pub fn new(g: LabeledGraph, config: StoreConfig) -> Self {
+        let pattern = config
+            .serve_patterns
+            .then(|| MaintainedPattern::new(g.clone()));
+        let reach = MaintainedReachability::new(g);
+        let snapshot = Snapshot::build(
+            0,
+            reach.graph(),
+            reach.partition(),
+            pattern.as_ref().map(MaintainedPattern::compression),
+            &config,
+        );
+        CompressedStore {
+            config,
+            writer: Mutex::new(Writer {
+                reach,
+                pattern,
+                version: 0,
+            }),
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The current snapshot. Hold it as long as you like — the writer never
+    /// mutates published snapshots, it only swaps in new ones.
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Version of the currently published snapshot.
+    pub fn version(&self) -> u64 {
+        self.load().version()
+    }
+
+    /// Answers a batch of reachability queries on the current snapshot,
+    /// sharded across the store's configured worker count. Loads the
+    /// snapshot once — every query in the batch sees the same version.
+    /// Callers wanting a different worker count (or to pin a snapshot
+    /// across batches) use [`crate::bulk_reachable`] directly.
+    pub fn bulk_reachable(&self, queries: &[(NodeId, NodeId)]) -> Vec<bool> {
+        crate::bulk::bulk_reachable(&self.load(), queries, self.config.threads)
+    }
+
+    /// Applies `ΔG`: updates the data graph and both maintained
+    /// compressions through the incremental algorithms, then atomically
+    /// publishes a fresh snapshot. Concurrent callers are serialized;
+    /// readers are never blocked (except for the pointer swap itself).
+    pub fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        let reach_stats = w.reach.apply(batch);
+        let pattern_stats = w.pattern.as_mut().map(|p| p.apply(batch));
+        w.version += 1;
+        let snapshot = Snapshot::build(
+            w.version,
+            w.reach.graph(),
+            w.reach.partition(),
+            w.pattern.as_ref().map(MaintainedPattern::compression),
+            &self.config,
+        );
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        ApplyReport {
+            version: w.version,
+            reach: reach_stats,
+            pattern: pattern_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpgc_graph::traversal::bfs_reachable;
+    use qpgc_pattern::bounded::bounded_match;
+    use qpgc_pattern::pattern::Pattern;
+
+    fn sample() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b1 = g.add_node_with_label("B");
+        let b2 = g.add_node_with_label("B");
+        let c = g.add_node_with_label("C");
+        g.add_edge(a, b1);
+        g.add_edge(a, b2);
+        g.add_edge(b1, c);
+        g.add_edge(b2, c);
+        g
+    }
+
+    #[test]
+    fn versions_advance_and_answers_track_updates() {
+        let store = CompressedStore::new(sample(), StoreConfig::default());
+        assert_eq!(store.version(), 0);
+        let before = store.load();
+        assert!(before.reachable(NodeId(1), NodeId(3)));
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(1), NodeId(3));
+        let report = store.apply(&batch);
+        assert_eq!(report.version, 1);
+        assert_eq!(store.version(), 1);
+
+        // The old snapshot is untouched; the new one reflects the batch.
+        assert!(before.reachable(NodeId(1), NodeId(3)));
+        let after = store.load();
+        assert!(!after.reachable(NodeId(1), NodeId(3)));
+        assert!(after.reachable(NodeId(2), NodeId(3)));
+
+        // Store-level bulk evaluation serves the same answers.
+        let queries = [(NodeId(1), NodeId(3)), (NodeId(2), NodeId(3))];
+        assert_eq!(store.bulk_reachable(&queries), vec![false, true]);
+    }
+
+    #[test]
+    fn pattern_serving_tracks_updates() {
+        let store = CompressedStore::new(
+            sample(),
+            StoreConfig {
+                serve_patterns: true,
+                ..StoreConfig::default()
+            },
+        );
+        let mut q = Pattern::new();
+        let a = q.add_node("A");
+        let b = q.add_node("B");
+        let c = q.add_node("C");
+        q.add_edge(a, b, 1);
+        q.add_edge(b, c, 1);
+        assert!(store.load().match_pattern(&q).is_some());
+
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(1), NodeId(3));
+        batch.delete(NodeId(2), NodeId(3));
+        store.apply(&batch);
+        assert!(store.load().match_pattern(&q).is_none());
+
+        // Differential against direct evaluation on the maintained graph.
+        let mut g = sample();
+        batch.apply_to(&mut g);
+        assert!(bounded_match(&g, &q).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern serving not enabled")]
+    fn pattern_queries_require_opt_in() {
+        let store = CompressedStore::new(sample(), StoreConfig::default());
+        let q = Pattern::new();
+        let _ = store.load().match_pattern(&q);
+    }
+
+    #[test]
+    fn repeated_batches_stay_consistent_with_bfs() {
+        let mut g = sample();
+        let store = CompressedStore::new(
+            g.clone(),
+            StoreConfig {
+                two_hop: Some(Default::default()),
+                ..StoreConfig::default()
+            },
+        );
+        let batches: Vec<Vec<(u32, u32, bool)>> = vec![
+            vec![(3, 0, true)],
+            vec![(0, 1, false), (2, 3, false)],
+            vec![(1, 2, true), (3, 0, false)],
+        ];
+        for (i, spec) in batches.iter().enumerate() {
+            let mut batch = UpdateBatch::new();
+            for &(u, v, ins) in spec {
+                if ins {
+                    batch.insert(NodeId(u), NodeId(v));
+                } else {
+                    batch.delete(NodeId(u), NodeId(v));
+                }
+            }
+            store.apply(&batch);
+            batch.apply_to(&mut g);
+            let snap = store.load();
+            assert_eq!(snap.version(), i as u64 + 1);
+            for u in g.nodes() {
+                for w in g.nodes() {
+                    assert_eq!(
+                        snap.reachable(u, w),
+                        bfs_reachable(&g, u, w),
+                        "batch {i}: ({u},{w})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Seeded differential test for the rank-labelled 2-hop index: on ≥100
+//! random graphs, every query answered by the index (sequential, parallel,
+//! and sampled-estimator builds, and the legacy node-id build) must match
+//! `bfs_reachable` on the original graph, and the rank-labelled index must
+//! never be larger than the legacy one.
+
+use qpgc_graph::traversal::bfs_reachable;
+use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_reach::two_hop::{CoverageEstimate, TwoHopConfig, TwoHopIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(rng: &mut StdRng) -> LabeledGraph {
+    let n = rng.gen_range(2..28);
+    let m = rng.gen_range(0..n * 3);
+    let mut g = LabeledGraph::new();
+    for _ in 0..n {
+        g.add_node_with_label("X");
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        g.add_edge(NodeId(u), NodeId(v));
+    }
+    g
+}
+
+#[test]
+fn two_hop_matches_bfs_on_100_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0x2_50F);
+    let parallel = TwoHopConfig {
+        parallel: true,
+        ..TwoHopConfig::default()
+    };
+    let sampled = TwoHopConfig {
+        coverage: CoverageEstimate::Sampled {
+            samples: 5,
+            seed: 1234,
+        },
+        parallel: false,
+    };
+    let mut legacy_total = 0usize;
+    let mut ranked_total = 0usize;
+    for case in 0..110 {
+        let g = random_graph(&mut rng);
+        let ranked = TwoHopIndex::build(&g);
+        let par = TwoHopIndex::build_with(&g, &parallel);
+        let samp = TwoHopIndex::build_with(&g, &sampled);
+        let legacy = TwoHopIndex::build_with_node_id_labels(&g);
+
+        assert!(
+            ranked.label_entries() <= legacy.label_entries(),
+            "case {case}: rank labels grew the index ({} > {})",
+            ranked.label_entries(),
+            legacy.label_entries()
+        );
+        assert_eq!(
+            ranked.label_entries(),
+            par.label_entries(),
+            "case {case}: parallel build diverged in size"
+        );
+        legacy_total += legacy.label_entries();
+        ranked_total += ranked.label_entries();
+
+        for u in g.nodes() {
+            for w in g.nodes() {
+                let expected = bfs_reachable(&g, u, w);
+                assert_eq!(
+                    ranked.query(u, w),
+                    expected,
+                    "case {case}: ranked ({u},{w})"
+                );
+                assert_eq!(par.query(u, w), expected, "case {case}: parallel ({u},{w})");
+                assert_eq!(samp.query(u, w), expected, "case {case}: sampled ({u},{w})");
+                assert_eq!(
+                    legacy.query(u, w),
+                    expected,
+                    "case {case}: legacy ({u},{w})"
+                );
+            }
+        }
+    }
+    // Across the whole corpus the fixed pruning must actually prune.
+    assert!(
+        ranked_total < legacy_total,
+        "rank fix pruned nothing across 110 graphs ({ranked_total} vs {legacy_total})"
+    );
+}
