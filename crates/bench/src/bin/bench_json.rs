@@ -1,18 +1,23 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_3.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_4.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_3.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
 //! Unlike `reproduce`, the default scale here is **1** (full citHepTh-scale,
 //! ≈28k nodes) because the snapshot exists to track the perf trajectory at a
 //! meaningful size; set `QPGC_SCALE` to shrink it (CI smoke uses 500).
+//! `--compare PREV.json` additionally prints the per-phase regression table
+//! against a previously committed snapshot — the ROADMAP's
+//! compare-against-previous convention.
 
-use qpgc_bench::perf::perf_snapshot;
+use qpgc_bench::perf::{compare_report, perf_snapshot};
 
 fn main() {
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
+    let mut compare_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -27,13 +32,36 @@ fn main() {
                     })
                     .clone();
             }
+            "--compare" => {
+                i += 1;
+                compare_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| {
+                            eprintln!("--compare requires a path to a previous BENCH_<n>.json");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
             other => {
-                eprintln!("unknown argument `{other}`; usage: bench_json [--out PATH]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: bench_json [--out PATH] [--compare PREV.json]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+
+    // Read the comparison snapshot up front: a typo'd path must fail before
+    // the (potentially minutes-long) benchmark run, not after it.
+    let compare = compare_path.map(|prev_path| {
+        let prev = std::fs::read_to_string(&prev_path).unwrap_or_else(|e| {
+            eprintln!("failed to read {prev_path}: {e}");
+            std::process::exit(1);
+        });
+        (prev_path, prev)
+    });
 
     let scale = std::env::var("QPGC_SCALE")
         .ok()
@@ -52,6 +80,24 @@ fn main() {
             "  bulk {} queries on {} @ {} thread(s): {:>10.3} ms ({:.0} qps)",
             snap.serve_queries, snap.serve_dataset, row.threads, row.elapsed_ms, row.qps
         );
+    }
+    for row in &snap.snapshot_incremental {
+        eprintln!(
+            "  snapshot_incremental {} (1/{}, two_hop={}): full {:.3} ms vs delta {:.3} ms ({:.2}x, {}/{} patched)",
+            row.dataset,
+            row.scale,
+            row.two_hop,
+            row.full_ms,
+            row.delta_ms,
+            row.speedup,
+            row.patched_batches,
+            row.batches
+        );
+    }
+
+    if let Some((prev_path, prev)) = compare {
+        eprintln!("# regression vs {prev_path}");
+        eprint!("{}", compare_report(&prev, &snap));
     }
 
     std::fs::write(&out_path, snap.to_json()).unwrap_or_else(|e| {

@@ -166,14 +166,20 @@ mod tests {
         }
     }
 
+    // Slow (~2 s): runs three full incremental experiments; CI covers it
+    // via `cargo test -- --ignored`.
     #[test]
+    #[ignore = "slow experiment run; CI runs it via `cargo test -- --ignored`"]
     fn fig12f_and_g_and_h_produce_rows() {
         assert_eq!(fig12f(400).rows.len(), 5);
         assert_eq!(fig12g(400).rows.len(), 5);
         assert_eq!(fig12h(400).rows.len(), 5);
     }
 
+    // Slow (~3 s): wall-clock comparison over the full fig12g pipeline; CI
+    // covers it via `cargo test -- --ignored`.
     #[test]
+    #[ignore = "slow experiment run; CI runs it via `cargo test -- --ignored`"]
     fn fig12g_incpcm_not_slower_than_one_by_one() {
         // Batch incremental processing should not lose to re-running the
         // single-update algorithm per update (the paper's IncBsim

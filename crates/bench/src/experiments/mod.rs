@@ -62,7 +62,11 @@ mod tests {
         assert!(run("nope", 100).is_none());
     }
 
+    // Slow (runs every experiment end to end, ~10 s even at tiny scale):
+    // kept out of the default `cargo test` wall-clock per the ROADMAP;
+    // CI runs it explicitly via `cargo test -- --ignored`.
     #[test]
+    #[ignore = "slow experiment sweep; CI runs it via `cargo test -- --ignored`"]
     fn every_listed_experiment_runs_at_tiny_scale() {
         // A very coarse smoke test: every experiment must at least produce
         // rows when run on heavily scaled-down data.

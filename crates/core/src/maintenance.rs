@@ -5,13 +5,14 @@
 //! updates: `R(G ⊕ ΔG) = Gr ⊕ ΔGr`, computed by `incRCM` / `incPCM` without
 //! recompression.
 
+use qpgc_graph::update::PartitionDelta;
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
 use qpgc_pattern::compress::PatternCompression;
 use qpgc_pattern::incremental::{IncPatternStats, IncrementalPattern};
 use qpgc_pattern::pattern::{MatchRelation, Pattern};
 use qpgc_reach::compress::ReachCompression;
 use qpgc_reach::equivalence::ReachPartition;
-use qpgc_reach::incremental::{IncStats, IncrementalReach};
+use qpgc_reach::incremental::{IncStats, IncrementalReach, StableQuotient};
 
 use crate::queries::ReachQuery;
 
@@ -45,6 +46,13 @@ impl MaintainedReachability {
         self.inc.apply(&mut self.graph, batch)
     }
 
+    /// [`MaintainedReachability::apply`] that also exports the structured
+    /// [`PartitionDelta`] — the input of delta-patched snapshot
+    /// construction in serving layers.
+    pub fn apply_with_delta(&mut self, batch: &UpdateBatch) -> (IncStats, PartitionDelta) {
+        self.inc.apply_with_delta(&mut self.graph, batch)
+    }
+
     /// Answers a reachability query through the compressed form.
     pub fn answer(&self, query: &ReachQuery) -> bool {
         self.inc.query(query.from, query.to)
@@ -63,6 +71,16 @@ impl MaintainedReachability {
     /// [`MaintainedReachability::graph`] to materialize class edges.
     pub fn partition(&self) -> ReachPartition {
         self.inc.partition()
+    }
+
+    /// Exports the current state under **stable** class ids (node → class
+    /// index, cyclic/liveness flags, unreduced inter-class edges). Stable
+    /// ids survive across updates for untouched classes, which is what lets
+    /// snapshot layers patch their per-class structures from a
+    /// [`PartitionDelta`] instead of rebuilding them; see
+    /// [`StableQuotient`].
+    pub fn stable_quotient(&self) -> StableQuotient {
+        self.inc.stable_quotient()
     }
 }
 
@@ -94,6 +112,12 @@ impl MaintainedPattern {
     /// Applies `ΔG`, updating both the graph and its compression.
     pub fn apply(&mut self, batch: &UpdateBatch) -> IncPatternStats {
         self.inc.apply(&mut self.graph, batch)
+    }
+
+    /// [`MaintainedPattern::apply`] that also exports the structured
+    /// [`PartitionDelta`] of the bisimulation partition.
+    pub fn apply_with_delta(&mut self, batch: &UpdateBatch) -> (IncPatternStats, PartitionDelta) {
+        self.inc.apply_with_delta(&mut self.graph, batch)
     }
 
     /// The hypernode of `Gr` that currently contains `v`.

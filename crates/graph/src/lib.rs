@@ -71,5 +71,5 @@ pub use graph::LabeledGraph;
 pub use ids::{Label, NodeId};
 pub use scc::Condensation;
 pub use stats::GraphStats;
-pub use update::{Update, UpdateBatch};
+pub use update::{ClassBirth, EdgeDelta, PartitionDelta, Update, UpdateBatch};
 pub use view::GraphView;

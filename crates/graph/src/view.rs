@@ -89,6 +89,19 @@ pub trait GraphView {
         NodeIds(0..self.node_count() as u32)
     }
 
+    /// Iterator over all edges as `(source, target)` pairs, grouped by
+    /// source in node-id order (within a row, the order follows
+    /// [`GraphView::out_neighbors`] — sorted on CSR snapshots, insertion
+    /// order on the mutable graph). The generic substrate of row-diff code
+    /// that compares two views edge by edge.
+    fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_
+    where
+        Self: Sized,
+    {
+        self.nodes()
+            .flat_map(|u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
     /// Builds the label → nodes index used to seed simulation and
     /// bisimulation partitions.
     fn nodes_by_label(&self) -> HashMap<Label, Vec<NodeId>> {
@@ -141,6 +154,17 @@ mod tests {
         let g = sample();
         exercise(&g);
         exercise(&CsrGraph::from_graph(&g));
+    }
+
+    #[test]
+    fn default_edges_iterator_covers_both_views() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        let mut from_labeled: Vec<_> = GraphView::edges(&g).collect();
+        from_labeled.sort_unstable();
+        let from_csr: Vec<_> = GraphView::edges(&csr).collect();
+        assert_eq!(from_labeled, from_csr);
+        assert_eq!(from_csr.len(), 3);
     }
 
     #[test]

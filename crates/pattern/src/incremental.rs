@@ -35,6 +35,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use qpgc_graph::ids::LabelInterner;
+use qpgc_graph::update::{ClassBirth, PartitionDelta};
 use qpgc_graph::{Label, LabeledGraph, NodeId, UpdateBatch};
 
 use crate::bisim::{bisimulation_partition, BisimPartition};
@@ -104,10 +105,27 @@ impl IncrementalPattern {
     /// Applies the update batch: mutates `g` to `G ⊕ ΔG` and maintains the
     /// compressed state so that it equals `R(G ⊕ ΔG)`.
     pub fn apply(&mut self, g: &mut LabeledGraph, batch: &UpdateBatch) -> IncPatternStats {
+        self.apply_with_delta(g, batch).0
+    }
+
+    /// [`IncrementalPattern::apply`] that also exports the structured
+    /// [`PartitionDelta`] — retired stable class ids, created classes with
+    /// member lists and origin provenance, and the id-space size. Bisimilar
+    /// classes carry no cyclic flag, so [`ClassBirth::cyclic`] is always
+    /// `false` here.
+    pub fn apply_with_delta(
+        &mut self,
+        g: &mut LabeledGraph,
+        batch: &UpdateBatch,
+    ) -> (IncPatternStats, PartitionDelta) {
         let mut stats = IncPatternStats::default();
         let norm = batch.normalized(g);
         if norm.is_empty() {
-            return stats;
+            let delta = PartitionDelta {
+                id_space: self.members.len(),
+                ..PartitionDelta::default()
+            };
+            return (stats, delta);
         }
         stats.effective_updates = norm.len();
 
@@ -126,8 +144,9 @@ impl IncrementalPattern {
 
         norm.apply_to(g);
 
-        stats.changed_classes = self.localized_recompute(g, &affected);
-        stats
+        let delta = self.localized_recompute(g, &affected);
+        stats.changed_classes = delta.added.len();
+        (stats, delta)
     }
 
     /// Applies a batch one update at a time, re-running the incremental
@@ -174,7 +193,7 @@ impl IncrementalPattern {
         visited
     }
 
-    fn localized_recompute(&mut self, g: &LabeledGraph, affected: &HashSet<u32>) -> usize {
+    fn localized_recompute(&mut self, g: &LabeledGraph, affected: &HashSet<u32>) -> PartitionDelta {
         #[derive(Clone, Copy)]
         enum Unit {
             Atom(u32),
@@ -195,11 +214,18 @@ impl IncrementalPattern {
             units.push(Unit::Atom(c));
             atom_of_class.insert(c, h);
         }
-        for &c in affected {
+        // Sorted iteration keeps hybrid node ids — and through them the
+        // recycled stable ids — independent of hash-set iteration order
+        // (same rationale as `IncrementalReach::localized_recompute`).
+        let mut affected_sorted: Vec<u32> = affected.iter().copied().collect();
+        affected_sorted.sort_unstable();
+        let mut exploded: Vec<NodeId> = Vec::new();
+        for &c in &affected_sorted {
             for &v in &self.members[c as usize] {
                 let h = hybrid.add_node(g.label(v));
                 units.push(Unit::Member(v));
                 hybrid_of_node.insert(v, h);
+                exploded.push(v);
             }
         }
 
@@ -212,7 +238,8 @@ impl IncrementalPattern {
         // Out-edges of affected members from the (updated) data graph.
         // Bisimilarity only looks downward, and no unaffected class has an
         // edge into an affected one, so in-edges need no special handling.
-        for (&v, &hv) in &hybrid_of_node {
+        for &v in &exploded {
+            let hv = hybrid_of_node[&v];
             for &w in g.out_neighbors(v) {
                 let hw = match hybrid_of_node.get(&w) {
                     Some(&h) => h,
@@ -244,8 +271,9 @@ impl IncrementalPattern {
             }
         }
 
-        // Pass A: collect member sets of changed groups before retiring ids.
-        let mut pending: Vec<(Vec<NodeId>, Label)> = Vec::new();
+        // Pass A: collect member sets of changed groups before retiring ids,
+        // recording origin provenance for the delta export.
+        let mut pending: Vec<(Vec<NodeId>, Label, Vec<u32>)> = Vec::new();
         for (gi, group) in groups.iter().enumerate() {
             if group.len() == 1 {
                 if let Unit::Atom(_) = group[0] {
@@ -253,23 +281,33 @@ impl IncrementalPattern {
                 }
             }
             let mut member_nodes: Vec<NodeId> = Vec::new();
+            let mut origins: Vec<u32> = Vec::new();
             for unit in group {
                 match unit {
-                    Unit::Member(v) => member_nodes.push(*v),
+                    Unit::Member(v) => {
+                        origins.push(self.class_of[v.index()]);
+                        member_nodes.push(*v);
+                    }
                     Unit::Atom(c) => {
+                        origins.push(*c);
                         let old = std::mem::take(&mut self.members[*c as usize]);
                         member_nodes.extend(old);
                     }
                 }
             }
             member_nodes.sort_unstable();
-            pending.push((member_nodes, part.labels[gi]));
+            origins.sort_unstable();
+            origins.dedup();
+            pending.push((member_nodes, part.labels[gi], origins));
         }
 
-        // Pass B: retire changed classes and their class-level edges.
+        // Pass B: retire changed classes and their class-level edges, in
+        // sorted id order so the free-id stack is deterministic.
         self.q_edges
             .retain(|&(a, b), _| !retired.contains(&a) && !retired.contains(&b));
-        for &c in &retired {
+        let mut removed: Vec<u32> = retired.into_iter().collect();
+        removed.sort_unstable();
+        for &c in &removed {
             self.active[c as usize] = false;
             self.members[c as usize].clear();
             self.free_ids.push(c);
@@ -277,9 +315,8 @@ impl IncrementalPattern {
 
         // Pass C: create the new classes.
         let mut new_ids: Vec<u32> = Vec::new();
-        let mut changed = 0usize;
-        for (member_nodes, label) in pending {
-            changed += 1;
+        let mut births: Vec<ClassBirth> = Vec::new();
+        for (member_nodes, label, origins) in pending {
             let id = match self.free_ids.pop() {
                 Some(id) => id,
                 None => {
@@ -292,6 +329,12 @@ impl IncrementalPattern {
             for &v in &member_nodes {
                 self.class_of[v.index()] = id;
             }
+            births.push(ClassBirth {
+                id,
+                members: member_nodes.clone(),
+                cyclic: false,
+                origins,
+            });
             self.members[id as usize] = member_nodes;
             self.labels[id as usize] = label;
             self.active[id as usize] = true;
@@ -315,7 +358,12 @@ impl IncrementalPattern {
                 }
             }
         }
-        changed
+
+        PartitionDelta {
+            removed,
+            added: births,
+            id_space: self.members.len(),
+        }
     }
 
     /// Materializes the current state as a [`PatternCompression`] with a
@@ -507,6 +555,52 @@ mod tests {
         let stats = inc.apply(&mut g2, &UpdateBatch::new());
         assert_eq!(stats, IncPatternStats::default());
         assert_eq!(inc.class_count(), 2);
+    }
+
+    #[test]
+    fn delta_export_replays_the_class_lifecycle() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let alphabet = ["A", "B", "C"];
+        for case in 0..30 {
+            let n = rng.gen_range(3..14);
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+            for _ in 0..rng.gen_range(0..n * 2) {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            let mut inc = IncrementalPattern::new(&g);
+            let before_class_of = inc.class_of.clone();
+            let mut batch = UpdateBatch::new();
+            for _ in 0..rng.gen_range(1..5) {
+                let u = NodeId(rng.gen_range(0..n) as u32);
+                let v = NodeId(rng.gen_range(0..n) as u32);
+                if rng.gen_bool(0.5) {
+                    batch.insert(u, v);
+                } else {
+                    batch.delete(u, v);
+                }
+            }
+            let (stats, delta) = inc.apply_with_delta(&mut g, &batch);
+            assert_eq!(stats.changed_classes, delta.added.len());
+            assert_eq!(delta.id_space, inc.members.len());
+            // Replaying the births on the pre-batch index reproduces the
+            // post-batch node → class map.
+            let mut replayed = before_class_of;
+            for birth in &delta.added {
+                assert!(!birth.cyclic);
+                for &v in &birth.members {
+                    replayed[v.index()] = birth.id;
+                }
+                for o in &birth.origins {
+                    assert!(delta.removed.contains(o), "case {case}: origin {o}");
+                }
+            }
+            assert_eq!(replayed, inc.class_of, "case {case}: class map diverged");
+        }
     }
 
     #[test]

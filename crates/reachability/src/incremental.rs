@@ -44,10 +44,47 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use qpgc_graph::transitive::transitive_reduction;
+use qpgc_graph::update::{ClassBirth, PartitionDelta};
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
 
 use crate::compress::ReachCompression;
 use crate::equivalence::{reachability_partition, ReachPartition};
+
+/// The maintained compression state exported with **stable** class ids —
+/// the ids [`IncrementalReach`] keeps across updates (recycling retired
+/// ones) rather than the densely renumbered ids of
+/// [`IncrementalReach::partition`].
+///
+/// Stable ids are what makes snapshot *patching* possible: a class id
+/// absent from a [`PartitionDelta`] names the same node set before and
+/// after the batch, so derived per-class structures (quotient CSR rows,
+/// landmark labels) indexed by stable id can be carried over verbatim.
+/// Retired ids are simply inactive holes; derived structures keep an empty
+/// row for them.
+#[derive(Clone, Debug)]
+pub struct StableQuotient {
+    /// `class_of[v]` — stable class id of node `v` (always an active id).
+    pub class_of: Vec<u32>,
+    /// Cyclic flag per stable id (stale for inactive ids).
+    pub cyclic: Vec<bool>,
+    /// Liveness per stable id.
+    pub active: Vec<bool>,
+    /// Distinct inter-class edges of the (unreduced) quotient, sorted by
+    /// `(source, target)` stable id.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl StableQuotient {
+    /// Size of the stable id space (`max id + 1`, holes included).
+    pub fn id_space(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of live classes (`|Vr|`).
+    pub fn class_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
 
 /// Statistics of one incremental maintenance step.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -202,10 +239,28 @@ impl IncrementalReach {
     /// Applies the update batch: mutates `g` to `G ⊕ ΔG` and maintains the
     /// compressed state so that it equals `R(G ⊕ ΔG)`.
     pub fn apply(&mut self, g: &mut LabeledGraph, batch: &UpdateBatch) -> IncStats {
+        self.apply_with_delta(g, batch).0
+    }
+
+    /// [`IncrementalReach::apply`] that also exports the structured
+    /// [`PartitionDelta`]: which stable class ids the step retired, which
+    /// classes it created (with members, cyclic flags, and origin
+    /// provenance), and the resulting id-space size. Consumers that maintain
+    /// per-class derived state (e.g. the serving layer's delta-patched
+    /// snapshots) apply the delta instead of re-reading the whole partition.
+    pub fn apply_with_delta(
+        &mut self,
+        g: &mut LabeledGraph,
+        batch: &UpdateBatch,
+    ) -> (IncStats, PartitionDelta) {
         let mut stats = IncStats::default();
         let norm = batch.normalized(g);
         if norm.is_empty() {
-            return stats;
+            let delta = PartitionDelta {
+                id_space: self.members.len(),
+                ..PartitionDelta::default()
+            };
+            return (stats, delta);
         }
 
         // Step 1: redundant-insertion reduction (safe when the batch inserts
@@ -237,7 +292,11 @@ impl IncrementalReach {
         norm.apply_to(g);
 
         if effective.is_empty() {
-            return stats;
+            let delta = PartitionDelta {
+                id_space: self.members.len(),
+                ..PartitionDelta::default()
+            };
+            return (stats, delta);
         }
 
         // Step 2: affected classes = up-cone of the sources ∪ down-cone of
@@ -257,16 +316,16 @@ impl IncrementalReach {
             .sum();
 
         // Step 3: localized recomputation on the hybrid graph.
-        let changed = self.localized_recompute(g, &affected);
-        stats.changed_classes = changed;
+        let delta = self.localized_recompute(g, &affected);
+        stats.changed_classes = delta.added.len();
         stats.hybrid_nodes = self.class_count(); // informative only
 
-        stats
+        (stats, delta)
     }
 
     /// Rebuilds the equivalence inside the affected region and patches the
-    /// state. Returns the number of classes created or rewritten.
-    fn localized_recompute(&mut self, g: &LabeledGraph, affected: &HashSet<u32>) -> usize {
+    /// state. Returns the structured delta of retired and created classes.
+    fn localized_recompute(&mut self, g: &LabeledGraph, affected: &HashSet<u32>) -> PartitionDelta {
         // ---- Build the hybrid graph. -------------------------------------
         #[derive(Clone, Copy)]
         enum Unit {
@@ -291,11 +350,20 @@ impl IncrementalReach {
                 hybrid.add_edge(h, h);
             }
         }
-        for &c in affected {
+        // Iterate affected classes in sorted order: hybrid node ids (and
+        // through them the ids handed out for the rebuilt classes) must not
+        // depend on hash-set iteration order, so that identical update
+        // streams always produce identical stable ids — the property the
+        // serving layer's snapshot differential relies on.
+        let mut affected_sorted: Vec<u32> = affected.iter().copied().collect();
+        affected_sorted.sort_unstable();
+        let mut exploded: Vec<NodeId> = Vec::new();
+        for &c in &affected_sorted {
             for &v in &self.members[c as usize] {
                 let h = hybrid.add_node_with_label("node");
                 units.push(Unit::Member(v));
                 hybrid_of_node.insert(v, h);
+                exploded.push(v);
             }
         }
 
@@ -308,7 +376,8 @@ impl IncrementalReach {
         }
         // Edges incident to affected members come from the (already updated)
         // data graph adjacency of exactly those members.
-        for (&v, &hv) in &hybrid_of_node {
+        for &v in &exploded {
+            let hv = hybrid_of_node[&v];
             for &w in g.out_neighbors(v) {
                 let hw = match hybrid_of_node.get(&w) {
                     Some(&h) => h,
@@ -352,8 +421,9 @@ impl IncrementalReach {
 
         // Pass A: collect the member sets of every changed group *before*
         // any class id is retired or recycled (absorbed atoms hand over
-        // their member lists wholesale here).
-        let mut pending: Vec<(Vec<NodeId>, bool)> = Vec::new();
+        // their member lists wholesale here). Origins record which retired
+        // classes each group's members came from, for the delta export.
+        let mut pending: Vec<(Vec<NodeId>, bool, Vec<u32>)> = Vec::new();
         for (gi, group) in groups.iter().enumerate() {
             if group.len() == 1 {
                 if let Unit::Atom(_) = group[0] {
@@ -361,26 +431,37 @@ impl IncrementalReach {
                 }
             }
             let mut member_nodes: Vec<NodeId> = Vec::new();
+            let mut origins: Vec<u32> = Vec::new();
             for unit in group {
                 match unit {
-                    Unit::Member(v) => member_nodes.push(*v),
+                    Unit::Member(v) => {
+                        origins.push(self.class_of[v.index()]);
+                        member_nodes.push(*v);
+                    }
                     Unit::Atom(c) => {
                         // The atom's previous members move wholesale.
+                        origins.push(*c);
                         let old = std::mem::take(&mut self.members[*c as usize]);
                         member_nodes.extend(old);
                     }
                 }
             }
             member_nodes.sort_unstable();
-            pending.push((member_nodes, part.cyclic[gi]));
+            origins.sort_unstable();
+            origins.dedup();
+            pending.push((member_nodes, part.cyclic[gi], origins));
         }
 
         // Pass B: retire changed classes and drop the class-level edges
         // touching them; they are rebuilt below from the adjacency of the
-        // new classes' members.
+        // new classes' members. Retiring in sorted id order keeps the
+        // free-id stack — and hence the ids recycled by Pass C — fully
+        // deterministic.
         self.q_edges
             .retain(|&(a, b), _| !retired.contains(&a) && !retired.contains(&b));
-        for &c in &retired {
+        let mut removed: Vec<u32> = retired.into_iter().collect();
+        removed.sort_unstable();
+        for &c in &removed {
             self.active[c as usize] = false;
             self.members[c as usize].clear();
             self.free_ids.push(c);
@@ -388,9 +469,8 @@ impl IncrementalReach {
 
         // Pass C: create the new classes (recycling retired ids).
         let mut new_ids: Vec<u32> = Vec::new();
-        let mut changed = 0usize;
-        for (member_nodes, is_cyclic) in pending {
-            changed += 1;
+        let mut births: Vec<ClassBirth> = Vec::new();
+        for (member_nodes, is_cyclic, origins) in pending {
             let id = match self.free_ids.pop() {
                 Some(id) => id,
                 None => {
@@ -403,6 +483,12 @@ impl IncrementalReach {
             for &v in &member_nodes {
                 self.class_of[v.index()] = id;
             }
+            births.push(ClassBirth {
+                id,
+                members: member_nodes.clone(),
+                cyclic: is_cyclic,
+                origins,
+            });
             self.members[id as usize] = member_nodes;
             self.cyclic[id as usize] = is_cyclic;
             self.active[id as usize] = true;
@@ -429,7 +515,12 @@ impl IncrementalReach {
                 }
             }
         }
-        changed
+
+        PartitionDelta {
+            removed,
+            added: births,
+            id_space: self.members.len(),
+        }
     }
 
     /// Dense renumbering of the active class ids (ascending id order) plus
@@ -467,6 +558,22 @@ impl IncrementalReach {
     /// parallel) start from this.
     pub fn partition(&self) -> ReachPartition {
         self.dense_partition().1
+    }
+
+    /// The current state under **stable** class ids: the node → class index,
+    /// cyclic and liveness flags per id, and the distinct unreduced
+    /// inter-class edges — everything a snapshot layer needs to build (or
+    /// delta-patch, via [`IncrementalReach::apply_with_delta`]) its quotient
+    /// representation with rows that survive across versions.
+    pub fn stable_quotient(&self) -> StableQuotient {
+        let mut edges: Vec<(u32, u32)> = self.q_edges.keys().copied().collect();
+        edges.sort_unstable();
+        StableQuotient {
+            class_of: self.class_of.clone(),
+            cyclic: self.cyclic.clone(),
+            active: self.active.clone(),
+            edges,
+        }
     }
 
     /// Materializes the current state as a [`ReachCompression`] with a
@@ -704,6 +811,117 @@ mod tests {
         assert_eq!(part.class_of, comp.partition.class_of);
         assert_eq!(part.members, comp.partition.members);
         assert_eq!(part.cyclic, comp.partition.cyclic);
+    }
+
+    /// Replays a delta on top of a pre-batch `StableQuotient` and checks it
+    /// reproduces the post-batch one (the contract the serving layer's
+    /// snapshot patching relies on).
+    fn assert_delta_replays(
+        before: &StableQuotient,
+        delta: &PartitionDelta,
+        after: &StableQuotient,
+    ) {
+        assert_eq!(delta.id_space, after.id_space());
+        let mut class_of = before.class_of.clone();
+        let mut cyclic = before.cyclic.clone();
+        let mut active = before.active.clone();
+        cyclic.resize(delta.id_space, false);
+        active.resize(delta.id_space, false);
+        for &r in &delta.removed {
+            active[r as usize] = false;
+        }
+        for birth in &delta.added {
+            for &v in &birth.members {
+                class_of[v.index()] = birth.id;
+            }
+            cyclic[birth.id as usize] = birth.cyclic;
+            active[birth.id as usize] = true;
+            // Origins reference classes retired by the same delta.
+            for o in &birth.origins {
+                assert!(delta.removed.contains(o), "origin {o} not retired");
+            }
+        }
+        assert_eq!(class_of, after.class_of);
+        assert_eq!(active, after.active);
+        for (id, &a) in after.active.iter().enumerate() {
+            if a {
+                assert_eq!(cyclic[id], after.cyclic[id], "cyclic flag of class {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_replays_onto_stable_quotient() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for case in 0..40 {
+            let n = rng.gen_range(3..16);
+            let m = rng.gen_range(0..n * 2);
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label("X");
+            }
+            for _ in 0..m {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            let mut inc = IncrementalReach::new(&g);
+            for step in 0..3 {
+                let before = inc.stable_quotient();
+                let mut batch = UpdateBatch::new();
+                for _ in 0..rng.gen_range(1..5) {
+                    let u = NodeId(rng.gen_range(0..n) as u32);
+                    let v = NodeId(rng.gen_range(0..n) as u32);
+                    if rng.gen_bool(0.5) {
+                        batch.insert(u, v);
+                    } else {
+                        batch.delete(u, v);
+                    }
+                }
+                let (stats, delta) = inc.apply_with_delta(&mut g, &batch);
+                assert_eq!(stats.changed_classes, delta.added.len());
+                let after = inc.stable_quotient();
+                assert_delta_replays(&before, &delta, &after);
+                // Members of retired classes are exactly covered by births.
+                let born: usize = delta.added.iter().map(|b| b.members.len()).sum();
+                let died: usize = delta
+                    .removed
+                    .iter()
+                    .map(|&c| before.class_of.iter().filter(|&&x| x == c).count())
+                    .sum();
+                assert_eq!(born, died, "case {case} step {step}: member count drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_quotient_matches_dense_partition() {
+        let mut g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut inc = IncrementalReach::new(&g);
+        let mut batch = UpdateBatch::new();
+        batch.insert(NodeId(3), NodeId(4));
+        batch.delete(NodeId(2), NodeId(3));
+        inc.apply(&mut g, &batch);
+        let sq = inc.stable_quotient();
+        assert_eq!(sq.class_count(), inc.class_count());
+        assert_eq!(sq.edges.len(), inc.quotient_edge_count());
+        // Stable and dense exports describe the same partition.
+        let dense = inc.partition();
+        for v in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(
+                    sq.class_of[v.index()] == sq.class_of[w.index()],
+                    dense.class_of(v) == dense.class_of(w),
+                    "grouping differs for ({v},{w})"
+                );
+            }
+        }
+        for v in g.nodes() {
+            assert_eq!(
+                sq.cyclic[sq.class_of[v.index()] as usize],
+                dense.cyclic[dense.class_of(v) as usize]
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,20 @@ pub enum CoverageEstimate {
         /// Seed of the deterministic column sampler.
         seed: u64,
     },
+    /// Sampled sweep with an **adaptive** sample size: starting from a small
+    /// sample, the sample is doubled (with a fresh column draw each round)
+    /// until the top-`16` landmark order produced by two consecutive rounds
+    /// agrees, at which point the last round's scores are used; if the
+    /// sample would reach `|Vscc|` first, the sweep falls back to
+    /// [`CoverageEstimate::Exact`]. This removes the caller-chosen sample
+    /// knob of [`CoverageEstimate::Sampled`]: the head of the order is what
+    /// drives pruning quality, so "the head stopped moving" is the natural
+    /// convergence criterion.
+    Adaptive {
+        /// Seed of the deterministic column sampler (each round derives its
+        /// own stream from it).
+        seed: u64,
+    },
 }
 
 /// Build-time options for [`TwoHopIndex::build_with`].
@@ -76,6 +90,10 @@ impl Default for TwoHopConfig {
     }
 }
 
+/// Tombstone in the rank → node map for landmarks retired by
+/// [`TwoHopIndex::patch`].
+pub const RETIRED_LANDMARK: NodeId = NodeId(u32::MAX);
+
 /// A 2-hop reachability labelling of a graph.
 #[derive(Clone, Debug)]
 pub struct TwoHopIndex {
@@ -85,6 +103,19 @@ pub struct TwoHopIndex {
     in_labels: Vec<Vec<u32>>,
     /// `landmark_of_rank[r]`: the node processed as the `r`-th landmark.
     landmark_of_rank: Vec<NodeId>,
+}
+
+/// The prefix of an ascending list holding entries strictly below `bound`.
+fn prefix_below(list: &[u32], bound: u32) -> &[u32] {
+    &list[..list.partition_point(|&x| x < bound)]
+}
+
+/// Inserts `rank` into an ascending list at its sorted position (the rank
+/// must not be present — patch passes strip it first).
+fn sorted_insert(list: &mut Vec<u32>, rank: u32) {
+    let pos = list.partition_point(|&x| x < rank);
+    debug_assert!(list.get(pos) != Some(&rank));
+    list.insert(pos, rank);
 }
 
 /// `true` iff the two ascending `u32` slices share an element.
@@ -143,6 +174,55 @@ fn pruned_pass<G: GraphView>(
         }
         if u != landmark {
             labels[u.index()].push(rank);
+        }
+        let neighbors = if forward {
+            g.out_neighbors(u)
+        } else {
+            g.in_neighbors(u)
+        };
+        for &w in neighbors {
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                touched.push(w.index());
+                queue.push_back(w);
+            }
+        }
+    }
+    for &t in touched.iter() {
+        visited[t] = false;
+    }
+    touched.clear();
+}
+
+/// [`pruned_pass`] for [`TwoHopIndex::patch`] re-runs. Two differences from
+/// the full-build pass: the pruning intersection only considers label
+/// entries with rank **below** the current one (retained entries of
+/// higher-rank clean landmarks must not influence an earlier pass — during
+/// a full build no such entries exist yet), and the rank is written at its
+/// sorted position instead of appended (the lists already hold later
+/// ranks).
+fn patched_pass<G: GraphView>(
+    g: &G,
+    landmark: NodeId,
+    rank: u32,
+    forward: bool,
+    labels: &mut [Vec<u32>],
+    landmark_opposite: &[u32],
+    scratch: &mut Scratch,
+) {
+    let Scratch { visited, touched } = scratch;
+    let mut queue = VecDeque::new();
+    queue.push_back(landmark);
+    visited[landmark.index()] = true;
+    touched.push(landmark.index());
+    while let Some(u) = queue.pop_front() {
+        if u != landmark
+            && sorted_intersects(landmark_opposite, prefix_below(&labels[u.index()], rank))
+        {
+            continue;
+        }
+        if u != landmark {
+            sorted_insert(&mut labels[u.index()], rank);
         }
         let neighbors = if forward {
             g.out_neighbors(u)
@@ -334,6 +414,210 @@ impl TwoHopIndex {
         index
     }
 
+    /// Scoped re-labeling: derives the index of a *patched* graph from the
+    /// index of its predecessor, re-running the pruned passes only for the
+    /// landmarks whose reachability cones touch the change.
+    ///
+    /// The caller partitions the node ids into four groups:
+    ///
+    /// * **dead** — rows retired by the patch (isolated in `new_graph`).
+    ///   Their ranks are tombstoned and every label entry carrying them is
+    ///   stripped.
+    /// * **born** — rows created by the patch (possibly recycling dead ids).
+    ///   They are appended to the landmark order with fresh ranks and their
+    ///   label lists start empty.
+    /// * **dirty** — surviving rows whose forward or backward cone (in the
+    ///   old or the new graph, themselves included) intersects a dead or
+    ///   born row. Their old entries are stripped and their passes re-run.
+    /// * everyone else (**clean**) keeps their labels untouched.
+    ///
+    /// ## Why the mixed label set stays a valid 2-hop cover
+    ///
+    /// The contract (guaranteed by the serving layer, emulated by the
+    /// differential tests): a clean landmark's cones are identical in both
+    /// graphs and avoid every dead/born row, and reachability between
+    /// surviving rows is the same in both graphs. Under that contract the
+    /// standard pruned-landmark-labelling induction goes through for the
+    /// mixed label set: for any pair `(a, b)` reachable in the new graph,
+    /// take the minimum-rank landmark `h` on any new `a → b` path. If `h`
+    /// is clean, its retained pass either labelled both endpoints, or it
+    /// pruned at some `x` on the path because an earlier landmark `q`
+    /// covered the pair — but then `q` lies inside `h`'s (unchanged) cone,
+    /// so `a → q → b` also holds in the new graph, contradicting `h`'s
+    /// minimality. If `h` is dirty or born, its pass re-ran on the new
+    /// graph directly, and the same argument applies to its prune points.
+    /// The one extra care: re-run passes prune against *rank-prefix-bounded*
+    /// intersections (entries `< h` only), because — unlike during a full
+    /// build — the label lists already contain retained entries of
+    /// higher-rank clean landmarks, which must not influence earlier
+    /// passes. Labels of `patch` and of a from-scratch rebuild may differ
+    /// (both are valid covers); queries agree.
+    ///
+    /// Ranks of dead landmarks remain as tombstones ([`TwoHopIndex::landmark`]
+    /// returns `NodeId(u32::MAX)` for them), so repeated patching grows the
+    /// rank space; [`TwoHopIndex::retired_rank_count`] lets callers decide
+    /// when a compacting full rebuild is worth it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a dead or dirty id has no live rank in this index, or
+    /// when a born id still has one (the groups must describe a consistent
+    /// lifecycle step).
+    pub fn patch<G: GraphView>(
+        &self,
+        new_graph: &G,
+        dead: &[u32],
+        dirty: &[u32],
+        born: &[u32],
+    ) -> TwoHopIndex {
+        let n_new = new_graph.node_count();
+        assert!(
+            n_new >= self.out_labels.len(),
+            "patched graph shrank below the indexed id space"
+        );
+
+        let mut out_labels = self.out_labels.clone();
+        let mut in_labels = self.in_labels.clone();
+        out_labels.resize_with(n_new, Vec::new);
+        in_labels.resize_with(n_new, Vec::new);
+        let mut landmark_of_rank = self.landmark_of_rank.clone();
+
+        // rank_of: inverse of the live part of the rank → node map.
+        let mut rank_of = vec![u32::MAX; n_new];
+        for (r, lm) in landmark_of_rank.iter().enumerate() {
+            if *lm != RETIRED_LANDMARK {
+                rank_of[lm.index()] = r as u32;
+            }
+        }
+
+        // Ranks whose entries must be stripped: dead (gone for good) and
+        // dirty (about to be recomputed). Dead first, so an id retired and
+        // recycled by the same step (`dead` ∩ `born`) hands its old rank
+        // back before the born check below.
+        let mut strip = vec![false; landmark_of_rank.len()];
+        for &d in dead {
+            let r = rank_of[d as usize];
+            assert!(r != u32::MAX, "dead id {d} has no live rank");
+            strip[r as usize] = true;
+            landmark_of_rank[r as usize] = RETIRED_LANDMARK;
+            rank_of[d as usize] = u32::MAX;
+        }
+        // Born ids normally get fresh ranks. An id can however be *reborn
+        // with a live rank*: a full (compacting) index rebuild over the
+        // patched quotient hands every row — retired holes included — a
+        // rank, and a later step may recycle such a hole. Its old labels
+        // describe an isolated row (nobody's cone contained it), so
+        // re-running it at its existing rank like a dirty landmark is
+        // sound; only ids with no live rank are appended.
+        let mut fresh_born: Vec<u32> = Vec::new();
+        let mut dirty_ranks: Vec<u32> = Vec::with_capacity(dirty.len());
+        for &b in born {
+            match rank_of[b as usize] {
+                u32::MAX => fresh_born.push(b),
+                r => {
+                    strip[r as usize] = true;
+                    dirty_ranks.push(r);
+                }
+            }
+        }
+        for &d in dirty {
+            let r = rank_of[d as usize];
+            assert!(r != u32::MAX, "dirty id {d} has no live rank");
+            strip[r as usize] = true;
+            dirty_ranks.push(r);
+        }
+        dirty_ranks.sort_unstable();
+
+        // Rows reset wholesale: dead rows (unreferenced from now on) and
+        // born rows (recycled ids may carry a previous life's labels).
+        let mut reset = vec![false; n_new];
+        for &d in dead {
+            reset[d as usize] = true;
+        }
+        for &b in born {
+            reset[b as usize] = true;
+        }
+        for labels in [&mut out_labels, &mut in_labels] {
+            for (v, list) in labels.iter_mut().enumerate() {
+                if reset[v] {
+                    list.clear();
+                } else if !list.is_empty() {
+                    list.retain(|&r| !strip[r as usize]);
+                }
+            }
+        }
+
+        // Re-run schedule: surviving dirty landmarks at their old ranks
+        // (ascending), then born landmarks at fresh appended ranks.
+        let mut schedule: Vec<(u32, NodeId)> = dirty_ranks
+            .iter()
+            .map(|&r| (r, landmark_of_rank[r as usize]))
+            .collect();
+        let mut born_sorted: Vec<u32> = fresh_born;
+        born_sorted.sort_unstable();
+        for &b in &born_sorted {
+            let rank = landmark_of_rank.len() as u32;
+            landmark_of_rank.push(NodeId(b));
+            schedule.push((rank, NodeId(b)));
+        }
+
+        let mut scratch_fwd = Scratch::new(n_new);
+        let mut scratch_bwd = Scratch::new(n_new);
+        for &(rank, landmark) in &schedule {
+            // Forward: landmark reaches u  ⇒  rank ∈ in_labels[u].
+            let opposite = prefix_below(&out_labels[landmark.index()], rank).to_vec();
+            patched_pass(
+                new_graph,
+                landmark,
+                rank,
+                true,
+                &mut in_labels,
+                &opposite,
+                &mut scratch_fwd,
+            );
+            // Backward: u reaches landmark  ⇒  rank ∈ out_labels[u].
+            let opposite = prefix_below(&in_labels[landmark.index()], rank).to_vec();
+            patched_pass(
+                new_graph,
+                landmark,
+                rank,
+                false,
+                &mut out_labels,
+                &opposite,
+                &mut scratch_bwd,
+            );
+            sorted_insert(&mut out_labels[landmark.index()], rank);
+            sorted_insert(&mut in_labels[landmark.index()], rank);
+        }
+
+        let index = TwoHopIndex {
+            out_labels,
+            in_labels,
+            landmark_of_rank,
+        };
+        debug_assert!(index
+            .out_labels
+            .iter()
+            .chain(index.in_labels.iter())
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        index
+    }
+
+    /// Number of rank slots tombstoned by past [`TwoHopIndex::patch`] calls.
+    /// When this rivals [`TwoHopIndex::live_rank_count`], a compacting full
+    /// rebuild reclaims the slack.
+    pub fn retired_rank_count(&self) -> usize {
+        self.landmark_of_rank
+            .iter()
+            .filter(|&&lm| lm == RETIRED_LANDMARK)
+            .count()
+    }
+
+    /// Number of live landmarks (rank slots not tombstoned).
+    pub fn live_rank_count(&self) -> usize {
+        self.landmark_of_rank.len() - self.retired_rank_count()
+    }
+
     /// `true` iff the labels prove that `u` reaches `w` (possibly trivially,
     /// when `u == w`).
     pub fn query(&self, u: NodeId, w: NodeId) -> bool {
@@ -348,7 +632,8 @@ impl TwoHopIndex {
     }
 
     /// The node processed as the `rank`-th landmark (the debugging map from
-    /// label values back to nodes).
+    /// label values back to nodes). Ranks retired by [`TwoHopIndex::patch`]
+    /// return [`RETIRED_LANDMARK`].
     pub fn landmark(&self, rank: u32) -> NodeId {
         self.landmark_of_rank[rank as usize]
     }
@@ -461,19 +746,69 @@ fn parallel_passes<G: GraphView + Sync>(
 /// Landmarks in descending estimated-coverage order (ties broken by total
 /// degree, then ascending node id — the sort is stable).
 fn landmark_order<G: GraphView>(g: &G, estimate: CoverageEstimate) -> Vec<NodeId> {
-    let scores = coverage_scores(g, estimate);
+    let cond = Condensation::of(g);
+    let dag = DagReach::from_condensation(&cond);
+    let scores = match estimate {
+        CoverageEstimate::Adaptive { seed } => adaptive_scores(g, &cond, &dag, seed),
+        other => coverage_scores(g, &cond, &dag, other),
+    };
+    order_by_scores(g, &scores)
+}
+
+/// Sorts all nodes by descending score, breaking ties by total degree then
+/// ascending node id (the sort is stable).
+fn order_by_scores<G: GraphView>(g: &G, scores: &[u64]) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = g.nodes().collect();
     order
         .sort_by_key(|&v| std::cmp::Reverse((scores[v.index()], g.out_degree(v) + g.in_degree(v))));
     order
 }
 
+/// The adaptive sample-growth loop behind [`CoverageEstimate::Adaptive`]:
+/// double the sample until the top-16 of the induced landmark order agrees
+/// across two consecutive rounds, falling back to the exact sweep when the
+/// sample would stop being a proper subset of the columns.
+fn adaptive_scores<G: GraphView>(
+    g: &G,
+    cond: &Condensation,
+    dag: &DagReach,
+    seed: u64,
+) -> Vec<u64> {
+    const TOP_K: usize = 16;
+    let nc = cond.component_count();
+    let mut samples = 32usize;
+    let mut prev_top: Option<Vec<NodeId>> = None;
+    let mut round = 0u64;
+    loop {
+        if samples >= nc {
+            return coverage_scores(g, cond, dag, CoverageEstimate::Exact);
+        }
+        let estimate = CoverageEstimate::Sampled {
+            samples,
+            seed: seed.wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        };
+        let scores = coverage_scores(g, cond, dag, estimate);
+        let order = order_by_scores(g, &scores);
+        let top: Vec<NodeId> = order.iter().take(TOP_K.min(order.len())).copied().collect();
+        if prev_top.as_ref() == Some(&top) {
+            return scores;
+        }
+        prev_top = Some(top);
+        samples *= 2;
+        round += 1;
+    }
+}
+
 /// `(|anc(v)| + 1) · (|desc(v)| + 1)` for every node — exactly, or scaled up
 /// from a sampled column sweep — computed through the SCC condensation so
-/// memory stays bounded on large graphs.
-fn coverage_scores<G: GraphView>(g: &G, estimate: CoverageEstimate) -> Vec<u64> {
-    let cond = Condensation::of(g);
-    let dag = DagReach::from_condensation(&cond);
+/// memory stays bounded on large graphs. `Adaptive` must be resolved by the
+/// caller ([`adaptive_scores`]) before reaching here.
+fn coverage_scores<G: GraphView>(
+    g: &G,
+    cond: &Condensation,
+    dag: &DagReach,
+    estimate: CoverageEstimate,
+) -> Vec<u64> {
     let nc = cond.component_count();
     let weight = |c: u32| cond.members(c).len() as u64;
 
@@ -654,6 +989,185 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn adaptive_coverage_stays_exact_on_queries() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let cfg = TwoHopConfig {
+            coverage: CoverageEstimate::Adaptive { seed: 4 },
+            parallel: false,
+        };
+        for _ in 0..15 {
+            let g = random_graph(&mut rng);
+            let idx = TwoHopIndex::build_with(&g, &cfg);
+            for u in g.nodes() {
+                for w in g.nodes() {
+                    assert_eq!(
+                        idx.query(u, w),
+                        bfs_reachable(&g, u, w),
+                        "adaptive index differs for ({u}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_exact_on_small_graphs() {
+        // Below the initial sample size the adaptive loop must collapse to
+        // the exact sweep, so the orders (and hence the labels) coincide.
+        let g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let adaptive = TwoHopIndex::build_with(
+            &g,
+            &TwoHopConfig {
+                coverage: CoverageEstimate::Adaptive { seed: 1 },
+                parallel: false,
+            },
+        );
+        let exact = TwoHopIndex::build(&g);
+        assert_eq!(adaptive.landmark_order(), exact.landmark_order());
+        assert_eq!(adaptive.label_entries(), exact.label_entries());
+    }
+
+    /// Emulates the serving layer's class lifecycle on plain DAGs: `g2` is
+    /// `g1` with some rows retired (isolated), some born (appended or
+    /// recycled), and some edges rewired among rows adjacent to the change.
+    /// The dirty set is derived exactly as the contract requires — any
+    /// surviving row whose cone (in either graph) touches a changed row —
+    /// and the patched index must answer like BFS on `g2` for all pairs.
+    #[test]
+    fn patched_index_is_query_equivalent_to_rebuild() {
+        let mut rng = StdRng::seed_from_u64(97);
+        for case in 0..60 {
+            // Random DAG (edges point id-upward).
+            let n1 = rng.gen_range(4..18usize);
+            let mut edges1: Vec<(u32, u32)> = Vec::new();
+            for u in 0..n1 as u32 {
+                for v in (u + 1)..n1 as u32 {
+                    if rng.gen_bool(0.25) {
+                        edges1.push((u, v));
+                    }
+                }
+            }
+            let g1 = graph(n1, &edges1);
+
+            // Retire some rows, append some, rewire a few edges.
+            let dead: Vec<u32> = (0..n1 as u32).filter(|_| rng.gen_bool(0.2)).collect();
+            let born_new = rng.gen_range(0..3usize);
+            let n2 = n1 + born_new;
+            let mut born: Vec<u32> = (n1 as u32..n2 as u32).collect();
+            // Recycle about half of the dead ids.
+            let mut still_dead: Vec<u32> = Vec::new();
+            for &d in &dead {
+                if rng.gen_bool(0.5) {
+                    born.push(d);
+                } else {
+                    still_dead.push(d);
+                }
+            }
+            let is_dead = |v: u32| still_dead.contains(&v);
+            let mut edges2: Vec<(u32, u32)> = edges1
+                .iter()
+                .copied()
+                .filter(|&(u, v)| {
+                    !dead.contains(&u) && !dead.contains(&v) // born-recycled rows restart empty
+                })
+                .collect();
+            let mut rewired: Vec<u32> = Vec::new();
+            for _ in 0..rng.gen_range(0..6) {
+                let u = rng.gen_range(0..n2 as u32);
+                let v = rng.gen_range(0..n2 as u32);
+                let (u, v) = (u.min(v), u.max(v));
+                if u == v || is_dead(u) || is_dead(v) {
+                    continue;
+                }
+                if let Some(pos) = edges2.iter().position(|&e| e == (u, v)) {
+                    edges2.swap_remove(pos);
+                } else {
+                    edges2.push((u, v));
+                }
+                rewired.push(u);
+                rewired.push(v);
+            }
+            let g2 = graph(n2, &edges2);
+
+            // Changed rows: every dead/born id plus rewired endpoints.
+            let mut changed: Vec<u32> = dead.iter().chain(born.iter()).copied().collect();
+            changed.extend(rewired);
+            changed.sort_unstable();
+            changed.dedup();
+
+            // Dirty: surviving rows whose cone touches a changed row in
+            // either graph (brute force via BFS closures).
+            let cone_touches = |g: &LabeledGraph, x: u32| -> bool {
+                use qpgc_graph::traversal::{ancestors, descendants};
+                if changed.contains(&x) {
+                    return true;
+                }
+                if x as usize >= g.node_count() {
+                    return false;
+                }
+                descendants(g, NodeId(x))
+                    .into_iter()
+                    .chain(ancestors(g, NodeId(x)))
+                    .any(|y| changed.contains(&y.0))
+            };
+            let dirty: Vec<u32> = (0..n2 as u32)
+                .filter(|&x| !dead.contains(&x) && !born.contains(&x))
+                .filter(|&x| cone_touches(&g1, x) || cone_touches(&g2, x))
+                .collect();
+
+            let idx1 = TwoHopIndex::build(&g1);
+            let patched = idx1.patch(&g2, &dead, &dirty, &born);
+            assert_eq!(
+                patched.retired_rank_count(),
+                dead.len(),
+                "case {case}: tombstone count"
+            );
+            assert_eq!(
+                patched.live_rank_count(),
+                n2 - still_dead.len(),
+                "case {case}: live rank count"
+            );
+            for u in g2.nodes() {
+                for w in g2.nodes() {
+                    assert_eq!(
+                        patched.query(u, w),
+                        bfs_reachable(&g2, u, w),
+                        "case {case}: patched answer differs for ({u}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_with_no_changes_is_identity() {
+        let g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let idx = TwoHopIndex::build(&g);
+        let patched = idx.patch(&g, &[], &[], &[]);
+        assert_eq!(patched.out_labels, idx.out_labels);
+        assert_eq!(patched.in_labels, idx.in_labels);
+        assert_eq!(patched.landmark_of_rank, idx.landmark_of_rank);
+        assert_eq!(patched.retired_rank_count(), 0);
+    }
+
+    #[test]
+    fn repeated_patches_accumulate_tombstones() {
+        // Chain 0 -> 1 -> 2; retire 2, then retire 1: two tombstones, and
+        // queries keep tracking the shrinking graph.
+        let g0 = graph(3, &[(0, 1), (1, 2)]);
+        let g1 = graph(3, &[(0, 1)]);
+        let g2 = graph(3, &[]);
+        let idx0 = TwoHopIndex::build(&g0);
+        let idx1 = idx0.patch(&g1, &[2], &[0, 1], &[]);
+        assert!(idx1.query(NodeId(0), NodeId(1)));
+        assert!(!idx1.query(NodeId(1), NodeId(2)));
+        let idx2 = idx1.patch(&g2, &[1], &[0], &[]);
+        assert!(!idx2.query(NodeId(0), NodeId(1)));
+        assert_eq!(idx2.retired_rank_count(), 2);
+        assert_eq!(idx2.live_rank_count(), 1);
     }
 
     #[test]

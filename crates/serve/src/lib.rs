@@ -8,9 +8,10 @@
 //! ## Architecture
 //!
 //! * [`Snapshot`] — an immutable, versioned view of one compression state:
-//!   the CSR form of `Gr`, the node → hypernode index, the cyclic flags,
-//!   an optional [`TwoHopIndex`] over `Gr`, and (optionally) the pattern
-//!   compression. Everything a query needs, nothing a writer can touch.
+//!   the CSR form of `Gr` (rows indexed by the maintainer's *stable* class
+//!   ids), the node → hypernode index, the cyclic flags, an optional
+//!   [`TwoHopIndex`] over `Gr`, and (optionally) the pattern compression.
+//!   Everything a query needs, nothing a writer can touch.
 //! * [`CompressedStore`] — owns the current `Arc<Snapshot>` behind a
 //!   pointer-swap. Readers call [`CompressedStore::load`], which clones the
 //!   `Arc` (the read lock is held only for the pointer copy — never during
@@ -21,11 +22,21 @@
 //!   pre-batch view until they re-`load`.
 //! * [`bulk_reachable`] — shards a query batch across `std::thread::scope`
 //!   workers, all reading the same shared snapshot.
-//! * Snapshot *construction* is parallel where it is embarrassingly so: the
-//!   per-class edge materialization shards the node range across scoped
-//!   threads ([`parallel::class_edges`]), and the optional 2-hop index can
-//!   run its per-landmark forward/backward label passes on two threads
-//!   (`TwoHopConfig::parallel`).
+//! * Snapshot *publication* is **incremental**: below the configurable
+//!   damage threshold ([`StoreConfig::damage_threshold`]) the writer
+//!   derives the next snapshot from the previous one via the batch's
+//!   `PartitionDelta` — quotient CSR rows are patched in place
+//!   (`CsrGraph::patch`, untouched spans copied wholesale), transitive
+//!   reduction is re-decided only for rows the delta can have changed, and
+//!   the 2-hop index re-labels only landmarks whose reachability cones
+//!   touch the changed classes ([`TwoHopIndex::patch`]). Past the
+//!   threshold, or when a batch leaves the partition untouched, the store
+//!   falls back to a from-scratch build or a cheap republication;
+//!   [`ApplyReport::path`] records which. The optional 2-hop build can
+//!   still run its per-landmark forward/backward passes on two threads
+//!   (`TwoHopConfig::parallel`); [`parallel::class_edges`] remains for
+//!   materializing quotient edges from scratch when no maintained
+//!   counters exist.
 //!
 //! ## Consistency model
 //!
@@ -48,4 +59,4 @@ pub mod store;
 
 pub use bulk::bulk_reachable;
 pub use snapshot::Snapshot;
-pub use store::{ApplyReport, CompressedStore, StoreConfig};
+pub use store::{ApplyPath, ApplyReport, CompressedStore, StoreConfig};

@@ -25,6 +25,11 @@ pub fn effective_threads(requested: usize, work_items: usize) -> usize {
 /// final global sort + dedup. Granularity policy (is this graph big enough
 /// to be worth spawning for?) is the caller's; `threads` is only clamped to
 /// the node count.
+///
+/// Since the snapshot pipeline became delta-aware it builds its quotients
+/// from the maintainer's own edge counters (`StableQuotient::edges`), so
+/// this scan is only needed when compressing a graph that has no
+/// maintenance façade attached (ad-hoc tooling, benchmarks).
 pub fn class_edges<G: GraphView + Sync>(
     g: &G,
     class_of: &[u32],

@@ -1,73 +1,314 @@
-//! The immutable, versioned view served to readers.
+//! The immutable, versioned view served to readers — born either from
+//! scratch ([`Snapshot::build`]) or by **delta-patching** its predecessor
+//! ([`Snapshot::apply_delta`]).
+//!
+//! ## Stable class ids
+//!
+//! Snapshots index every per-class structure (quotient CSR rows, cyclic
+//! flags, 2-hop landmark ranks) by the maintainer's *stable* class ids
+//! ([`StableQuotient`]), not by densely renumbered ones. A class id absent
+//! from a batch's [`PartitionDelta`] names the same node set before and
+//! after the batch, so its CSR row, its cyclic flag, and its landmark
+//! labels can be carried into the next snapshot verbatim. Retired ids stay
+//! behind as isolated rows (never referenced by the node → class index), so
+//! `Gr`'s `node_count` is the id-space size while
+//! [`Snapshot::class_count`] counts live classes.
+//!
+//! ## What `apply_delta` recomputes — and what it doesn't
+//!
+//! * **Node index / cyclic flags** — patched from the delta's births.
+//! * **Quotient CSR** — only rows whose transitive-reduction decision can
+//!   change are re-derived: rows of added/removed classes and live rows
+//!   with an edge into an added class. For every other edge `(a, b)` the
+//!   alternative-path structure below `a`'s children is untouched (their
+//!   descendant sets cannot change without the delta touching them), so the
+//!   previous kept/redundant decision carries over and the row is copied.
+//!   The scoped re-decision sweeps only the affected *columns* via
+//!   [`DagReach::descendants_for_columns`] instead of every column.
+//! * **2-hop index** — re-labels only landmarks whose forward/backward
+//!   cones (old or new) intersect the changed classes
+//!   ([`TwoHopIndex::patch`]); past a damage threshold (or once tombstoned
+//!   ranks outnumber live ones) it falls back to a compacting full build.
 
 use qpgc_graph::ids::LabelInterner;
 use qpgc_graph::reach_sets::{DagReach, DEFAULT_CHUNK};
 use qpgc_graph::transitive::transitive_reduction_dag;
 use qpgc_graph::traversal::bfs_reachable;
-use qpgc_graph::{CsrGraph, LabeledGraph, NodeId};
+use std::sync::Arc;
+
+use qpgc_graph::update::{EdgeDelta, PartitionDelta};
+use qpgc_graph::{CsrGraph, Label, NodeId};
 use qpgc_pattern::bounded::bounded_match;
 use qpgc_pattern::compress::PatternCompression;
 use qpgc_pattern::pattern::{MatchRelation, Pattern};
-use qpgc_reach::equivalence::ReachPartition;
+use qpgc_reach::incremental::StableQuotient;
 use qpgc_reach::two_hop::TwoHopIndex;
 
-use crate::parallel;
 use crate::store::StoreConfig;
 
 /// One immutable compression state, read-optimized for serving.
 ///
 /// A `Snapshot` is built once by the writer and never mutated; any number of
 /// readers query it concurrently without synchronization. The reachability
-/// side is always present (CSR `Gr`, node → hypernode index, cyclic flags,
-/// optionally a 2-hop index over `Gr`); the pattern side is present when the
-/// owning store was configured with `serve_patterns`.
+/// side is always present (CSR `Gr` over the stable class-id space, node →
+/// hypernode index, cyclic flags, optionally a 2-hop index over `Gr`); the
+/// pattern side is present when the owning store was configured with
+/// `serve_patterns`.
+/// The heavy, version-independent parts (`Gr`, the node index, the 2-hop
+/// labels) sit behind `Arc`s so that cloning a snapshot — in particular
+/// [`Snapshot::republish`], the path for batches that change the edge set
+/// but not the partition — costs pointer bumps, not a heap copy.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     version: u64,
-    gr: CsrGraph,
-    class_of: Vec<u32>,
-    cyclic: Vec<bool>,
-    two_hop: Option<TwoHopIndex>,
+    gr: Arc<CsrGraph>,
+    class_of: Arc<Vec<u32>>,
+    cyclic: Arc<Vec<bool>>,
+    live_classes: usize,
+    two_hop: Option<Arc<TwoHopIndex>>,
     pattern: Option<PatternCompression>,
 }
 
 impl Snapshot {
-    /// Builds a snapshot from the parts exported by the maintenance
-    /// façades. Class edges are materialized in parallel
-    /// ([`parallel::class_edges`]), transitively reduced on a [`DagReach`]
-    /// over the class-edge list, and frozen into CSR; the optional 2-hop
-    /// index is built over that CSR quotient.
+    /// Builds a snapshot from scratch out of the stable-id state exported by
+    /// the maintenance façades: the unreduced quotient edge list is
+    /// transitively reduced over a [`DagReach`] and frozen into CSR, and the
+    /// optional 2-hop index is built over that CSR quotient.
     pub(crate) fn build(
         version: u64,
-        g: &LabeledGraph,
-        partition: ReachPartition,
+        sq: &StableQuotient,
         pattern: Option<PatternCompression>,
         config: &StoreConfig,
     ) -> Snapshot {
-        let classes = partition.class_count();
-        let threads = if g.node_count() < 4096 {
-            1 // spawn overhead dwarfs the scan on small graphs
-        } else {
-            config.threads
-        };
-        let edges = parallel::class_edges(g, &partition.class_of, threads);
-        let dag = DagReach::from_edges(classes, edges)
+        let id_space = sq.id_space();
+        let dag = DagReach::from_edges(id_space, sq.edges.iter().copied())
             .expect("the quotient of the reachability equivalence relation is a DAG");
         let kept = transitive_reduction_dag(&dag, DEFAULT_CHUNK);
         let mut interner = LabelInterner::new();
         let sigma = interner.intern("σ");
-        let gr = CsrGraph::from_edges(vec![sigma; classes], interner, kept);
+        let gr = CsrGraph::from_edges(vec![sigma; id_space], interner, kept);
         let two_hop = config
             .two_hop
             .as_ref()
-            .map(|cfg| TwoHopIndex::build_with(&gr, cfg));
+            .map(|cfg| Arc::new(TwoHopIndex::build_with(&gr, cfg)));
         Snapshot {
             version,
-            gr,
-            class_of: partition.class_of,
-            cyclic: partition.cyclic,
+            gr: Arc::new(gr),
+            class_of: Arc::new(sq.class_of.clone()),
+            cyclic: Arc::new(sq.cyclic.clone()),
+            live_classes: sq.class_count(),
             two_hop,
             pattern,
+        }
+    }
+
+    /// Derives the next snapshot from `prev` and the batch's
+    /// [`PartitionDelta`], recomputing only what the delta can have changed
+    /// (see the module docs). `sq` is the post-batch stable-id state; the
+    /// patched structures are debug-asserted against it.
+    ///
+    /// Returns the snapshot and whether the 2-hop index was patched
+    /// (`false` when it was rebuilt in full, or absent).
+    pub(crate) fn apply_delta(
+        prev: &Snapshot,
+        version: u64,
+        sq: &StableQuotient,
+        delta: &PartitionDelta,
+        pattern: Option<PatternCompression>,
+        config: &StoreConfig,
+    ) -> (Snapshot, bool) {
+        let id_space = delta.id_space;
+        let old_space = prev.gr.node_count();
+        debug_assert!(id_space >= old_space, "stable id space never shrinks");
+        let added_ids = delta.added_ids();
+
+        // Node → class index and cyclic flags, patched from the births.
+        let mut class_of = (*prev.class_of).clone();
+        let mut cyclic = (*prev.cyclic).clone();
+        cyclic.resize(id_space, false);
+        for &r in &delta.removed {
+            cyclic[r as usize] = false;
+        }
+        for birth in &delta.added {
+            for &v in &birth.members {
+                class_of[v.index()] = birth.id;
+            }
+            cyclic[birth.id as usize] = birth.cyclic;
+        }
+        debug_assert_eq!(class_of, sq.class_of, "delta-patched node index drifted");
+
+        let mut is_added = vec![false; id_space];
+        for &a in &added_ids {
+            is_added[a as usize] = true;
+        }
+
+        // Unreduced quotient DAG of the new state (linear in |Er| — the
+        // expensive parts below are scoped to the affected region).
+        let dag = DagReach::from_edges(id_space, sq.edges.iter().copied())
+            .expect("the quotient of the reachability equivalence relation is a DAG");
+
+        // Rows whose transitive-reduction decision must be re-derived: rows
+        // of changed classes and live rows with an edge into an added class.
+        // Every other row's children and their descendant sets are
+        // untouched, so its previous kept set carries over unchanged.
+        let mut touched = vec![false; id_space];
+        for &r in &delta.removed {
+            touched[r as usize] = true;
+        }
+        for &a in &added_ids {
+            touched[a as usize] = true;
+        }
+        for a in 0..id_space as u32 {
+            if !touched[a as usize] && dag.out(a).iter().any(|&w| is_added[w as usize]) {
+                touched[a as usize] = true;
+            }
+        }
+
+        // Scoped transitive reduction: sweep descendant sets only for the
+        // columns that are targets of re-decided edges.
+        let mut cols: Vec<u32> = (0..id_space as u32)
+            .filter(|&a| touched[a as usize])
+            .flat_map(|a| dag.out(a).iter().copied())
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let desc = dag.descendants_for_columns(&cols);
+        let mut pos = vec![u32::MAX; id_space];
+        for (j, &c) in cols.iter().enumerate() {
+            pos[c as usize] = j as u32;
+        }
+
+        // Per-row diff: new kept row vs. the previous snapshot's row.
+        let mut added_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut removed_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for a in 0..id_space as u32 {
+            if !touched[a as usize] {
+                continue;
+            }
+            let row = dag.out(a);
+            let new_kept: Vec<u32> = row
+                .iter()
+                .copied()
+                .filter(|&b| {
+                    let bp = pos[b as usize] as usize;
+                    !row.iter().any(|&w| w != b && desc[w as usize].contains(bp))
+                })
+                .collect();
+            let old_kept: &[NodeId] = if (a as usize) < old_space {
+                prev.gr.out_neighbors(NodeId(a))
+            } else {
+                &[]
+            };
+            // Both sides are sorted ascending; two-pointer diff.
+            let mut i = 0usize;
+            let mut j = 0usize;
+            while i < old_kept.len() || j < new_kept.len() {
+                match (old_kept.get(i).map(|t| t.0), new_kept.get(j).copied()) {
+                    (Some(o), Some(n)) if o == n => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(o), n) if n.is_none() || o < n.unwrap() => {
+                        removed_edges.push((NodeId(a), NodeId(o)));
+                        i += 1;
+                    }
+                    (_, Some(n)) => {
+                        added_edges.push((NodeId(a), NodeId(n)));
+                        j += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+
+        // Patch the CSR quotient (untouched rows are span-copied). The
+        // per-row diff above is exact and sorted by construction;
+        // `EdgeDelta` re-asserts that shape (sort + dedup + cancellation)
+        // so the patch input carries the row-diff contract explicitly.
+        let diff = EdgeDelta::new(added_edges, removed_edges);
+        let sigma = prev
+            .gr
+            .interner()
+            .get("σ")
+            .expect("quotient snapshots intern σ at build time");
+        let appended: Vec<Label> = vec![sigma; id_space - old_space];
+        let gr = prev.gr.patch_with(diff.added(), diff.removed(), &appended);
+
+        // 2-hop: re-label only landmarks whose cones intersect the changed
+        // classes; fall back to a full (compacting) rebuild past the damage
+        // threshold or once tombstones outnumber live ranks.
+        let (two_hop, two_hop_patched) = match (&config.two_hop, prev.two_hop.as_deref()) {
+            (Some(cfg), Some(idx)) => {
+                let old_dag = DagReach::from_dag_graph(&*prev.gr)
+                    .expect("a published quotient snapshot is a DAG");
+                let d_old = old_dag.descendants_for_columns(&delta.removed);
+                let a_old = old_dag.ancestors_for_columns(&delta.removed);
+                let d_new = dag.descendants_for_columns(&added_ids);
+                let a_new = dag.ancestors_for_columns(&added_ids);
+                let mut is_changed = vec![false; id_space];
+                for &r in &delta.removed {
+                    is_changed[r as usize] = true;
+                }
+                for &a in &added_ids {
+                    is_changed[a as usize] = true;
+                }
+                let dirty: Vec<u32> = (0..id_space as u32)
+                    .filter(|&x| {
+                        let xi = x as usize;
+                        if is_changed[xi] {
+                            return false; // handled as dead/born
+                        }
+                        let old_hit = xi < old_space
+                            && (d_old[xi].count_ones() > 0 || a_old[xi].count_ones() > 0);
+                        old_hit || d_new[xi].count_ones() > 0 || a_new[xi].count_ones() > 0
+                    })
+                    .collect();
+                let live = idx.live_rank_count().max(1);
+                let damage = (dirty.len() + added_ids.len()) as f64 / live as f64;
+                let tombstones = idx.retired_rank_count() + delta.removed.len();
+                if damage > config.damage_threshold || tombstones > live {
+                    (Some(Arc::new(TwoHopIndex::build_with(&gr, cfg))), false)
+                } else {
+                    (
+                        Some(Arc::new(idx.patch(&gr, &delta.removed, &dirty, &added_ids))),
+                        true,
+                    )
+                }
+            }
+            (Some(cfg), None) => (Some(Arc::new(TwoHopIndex::build_with(&gr, cfg))), false),
+            _ => (None, false),
+        };
+
+        let live_classes = prev.live_classes - delta.removed.len() + delta.added.len();
+        debug_assert_eq!(live_classes, sq.class_count(), "live-class count drifted");
+
+        (
+            Snapshot {
+                version,
+                gr: Arc::new(gr),
+                class_of: Arc::new(class_of),
+                cyclic: Arc::new(cyclic),
+                live_classes,
+                two_hop,
+                pattern,
+            },
+            two_hop_patched,
+        )
+    }
+
+    /// A re-publication of the same compression state under a new version
+    /// (the batch changed the edge set but not the reachability partition);
+    /// only the pattern side is replaced. Cheap: the reachability-side
+    /// structures are `Arc`-shared with the predecessor.
+    pub(crate) fn republish(
+        prev: &Snapshot,
+        version: u64,
+        pattern: Option<PatternCompression>,
+    ) -> Snapshot {
+        Snapshot {
+            version,
+            pattern,
+            ..prev.clone()
         }
     }
 
@@ -77,7 +318,9 @@ impl Snapshot {
         self.version
     }
 
-    /// The compressed reachability graph `Gr` in CSR form.
+    /// The compressed reachability graph `Gr` in CSR form. Rows are stable
+    /// class ids: `node_count` is the id-space size (retired ids persist as
+    /// isolated rows), [`Snapshot::class_count`] the number of live classes.
     pub fn compressed_graph(&self) -> &CsrGraph {
         &self.gr
     }
@@ -85,7 +328,7 @@ impl Snapshot {
     /// The 2-hop index over `Gr`, when the store was configured to build
     /// one.
     pub fn two_hop(&self) -> Option<&TwoHopIndex> {
-        self.two_hop.as_ref()
+        self.two_hop.as_deref()
     }
 
     /// The pattern compression, when the store was configured with
@@ -100,9 +343,9 @@ impl Snapshot {
         self.class_of.get(v.index()).copied()
     }
 
-    /// Number of hypernodes (`|Vr|`).
+    /// Number of live hypernodes (`|Vr|`).
     pub fn class_count(&self) -> usize {
-        self.gr.node_count()
+        self.live_classes
     }
 
     /// Number of original nodes this snapshot covers.
@@ -127,7 +370,7 @@ impl Snapshot {
         }
         match &self.two_hop {
             Some(idx) => idx.query(NodeId(cv), NodeId(cw)),
-            None => bfs_reachable(&self.gr, NodeId(cv), NodeId(cw)),
+            None => bfs_reachable(&*self.gr, NodeId(cv), NodeId(cw)),
         }
     }
 
@@ -155,7 +398,7 @@ impl Snapshot {
         self.gr.heap_bytes()
             + self.class_of.capacity() * std::mem::size_of::<u32>()
             + self.cyclic.capacity() * std::mem::size_of::<bool>()
-            + self.two_hop.as_ref().map_or(0, TwoHopIndex::heap_bytes)
+            + self.two_hop.as_deref().map_or(0, TwoHopIndex::heap_bytes)
     }
 }
 
@@ -163,6 +406,7 @@ impl Snapshot {
 mod tests {
     use super::*;
     use qpgc::maintenance::MaintainedReachability;
+    use qpgc_graph::{LabeledGraph, UpdateBatch};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -183,7 +427,7 @@ mod tests {
 
     fn build(g: &LabeledGraph, config: &StoreConfig) -> Snapshot {
         let m = MaintainedReachability::new(g.clone());
-        Snapshot::build(0, m.graph(), m.partition(), None, config)
+        Snapshot::build(0, &m.stable_quotient(), None, config)
     }
 
     #[test]
@@ -236,9 +480,68 @@ mod tests {
             let g = random_graph(&mut rng, 30);
             let snap = build(&g, &StoreConfig::default());
             let rc = qpgc_reach::compress::compress_r(&g);
-            // Same number of hypernodes and (transitively reduced) edges.
+            // Same number of live hypernodes and (transitively reduced)
+            // edges; at version 0 the id space has no holes yet.
             assert_eq!(snap.class_count(), rc.graph.node_count());
+            assert_eq!(snap.compressed_graph().node_count(), rc.graph.node_count());
             assert_eq!(snap.compressed_graph().edge_count(), rc.graph.edge_count());
+        }
+    }
+
+    /// The structural heart of the delta path: a patched snapshot's quotient
+    /// CSR must be bit-identical to the one a full rebuild produces from the
+    /// same maintained state (same stable ids ⇒ same rows), and the patched
+    /// 2-hop must answer identically.
+    #[test]
+    fn apply_delta_equals_full_rebuild_structurally() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let config = StoreConfig {
+            two_hop: Some(Default::default()),
+            // Exercise the scoped 2-hop re-labeling even when most of the
+            // tiny graph is dirty.
+            damage_threshold: f64::INFINITY,
+            ..StoreConfig::default()
+        };
+        for case in 0..25 {
+            let mut g = random_graph(&mut rng, 20);
+            let mut m = MaintainedReachability::new(g.clone());
+            let mut snap = Snapshot::build(0, &m.stable_quotient(), None, &config);
+            for step in 0..4 {
+                let n = g.node_count();
+                let mut batch = UpdateBatch::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let u = NodeId(rng.gen_range(0..n) as u32);
+                    let v = NodeId(rng.gen_range(0..n) as u32);
+                    if rng.gen_bool(0.5) {
+                        batch.insert(u, v);
+                    } else {
+                        batch.delete(u, v);
+                    }
+                }
+                let (_, delta) = m.apply_with_delta(&batch);
+                batch.apply_to(&mut g);
+                let sq = m.stable_quotient();
+                let (patched, _) =
+                    Snapshot::apply_delta(&snap, step + 1, &sq, &delta, None, &config);
+                let rebuilt = Snapshot::build(step + 1, &sq, None, &config);
+                assert_eq!(
+                    patched.compressed_graph().edges().collect::<Vec<_>>(),
+                    rebuilt.compressed_graph().edges().collect::<Vec<_>>(),
+                    "case {case} step {step}: patched TR diverged from scratch TR"
+                );
+                assert_eq!(patched.class_count(), rebuilt.class_count());
+                for u in g.nodes() {
+                    for w in g.nodes() {
+                        let expected = bfs_reachable(&g, u, w);
+                        assert_eq!(
+                            patched.reachable(u, w),
+                            expected,
+                            "case {case} step {step}: patched answer ({u},{w})"
+                        );
+                    }
+                }
+                snap = patched;
+            }
         }
     }
 }

@@ -11,11 +11,11 @@ use qpgc_reach::two_hop::TwoHopConfig;
 use crate::snapshot::Snapshot;
 
 /// Configuration of a [`CompressedStore`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
-    /// Worker threads for parallel snapshot construction and for
-    /// store-level bulk evaluation ([`CompressedStore::bulk_reachable`]);
-    /// `0` means `available_parallelism`.
+    /// Worker threads for store-level bulk evaluation
+    /// ([`CompressedStore::bulk_reachable`]); `0` means
+    /// `available_parallelism`.
     pub threads: usize,
     /// Build a 2-hop index over `Gr` in every snapshot (queries become
     /// label intersections instead of BFS). `None` skips the index.
@@ -24,6 +24,51 @@ pub struct StoreConfig {
     /// default: it duplicates the data graph into a second maintenance
     /// façade and adds a bisimulation re-quotient to every batch.
     pub serve_patterns: bool,
+    /// Damage threshold of delta-patched snapshot publication. A batch
+    /// whose [`PartitionDelta`] churns more than this fraction of the live
+    /// classes falls back to a from-scratch [`Snapshot`] build; below it the
+    /// previous snapshot is patched (quotient CSR rows, node index, scoped
+    /// 2-hop re-labeling — the same fraction also gates the 2-hop patch
+    /// against its dirty-landmark count). `0.0` disables patching entirely,
+    /// `f64::INFINITY` forces it. Default: `0.25`.
+    ///
+    /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
+    pub damage_threshold: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            threads: 0,
+            two_hop: None,
+            serve_patterns: false,
+            damage_threshold: 0.25,
+        }
+    }
+}
+
+/// How one [`CompressedStore::apply`] call published its snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ApplyPath {
+    /// The batch changed no equivalence class; the previous snapshot was
+    /// republished under the new version (pattern side refreshed when
+    /// served).
+    Republished,
+    /// The previous snapshot was delta-patched. `two_hop_patched` tells
+    /// whether the 2-hop index was scoped-re-labeled too (`false`: rebuilt
+    /// in full past its own damage gate, or absent).
+    Patched {
+        /// Fraction of live classes churned by the batch.
+        churn: f64,
+        /// Whether the 2-hop index took the scoped re-labeling path.
+        two_hop_patched: bool,
+    },
+    /// The churn exceeded [`StoreConfig::damage_threshold`]; the snapshot
+    /// was rebuilt from scratch.
+    Rebuilt {
+        /// Fraction of live classes churned by the batch.
+        churn: f64,
+    },
 }
 
 /// What one [`CompressedStore::apply`] call did.
@@ -35,6 +80,14 @@ pub struct ApplyReport {
     pub reach: IncStats,
     /// Maintenance statistics of the pattern side, when served.
     pub pattern: Option<IncPatternStats>,
+    /// Which construction path published the snapshot.
+    pub path: ApplyPath,
+    /// Wall-clock of snapshot *publication* alone (building the new
+    /// snapshot — by whichever path — and swapping it in), excluding the
+    /// incremental maintenance of the compressions, which costs the same
+    /// regardless of the publication path. This is the number the
+    /// `snapshot_incremental` benchmark compares across paths.
+    pub publish_ms: f64,
 }
 
 struct Writer {
@@ -75,8 +128,7 @@ impl CompressedStore {
         let reach = MaintainedReachability::new(g);
         let snapshot = Snapshot::build(
             0,
-            reach.graph(),
-            reach.partition(),
+            &reach.stable_quotient(),
             pattern.as_ref().map(MaintainedPattern::compression),
             &config,
         );
@@ -120,23 +172,55 @@ impl CompressedStore {
     /// compressions through the incremental algorithms, then atomically
     /// publishes a fresh snapshot. Concurrent callers are serialized;
     /// readers are never blocked (except for the pointer swap itself).
+    ///
+    /// Publication is **delta-aware**: when the batch's [`PartitionDelta`]
+    /// churns at most [`StoreConfig::damage_threshold`] of the live
+    /// classes, the new snapshot is derived from the previous one
+    /// ([`Snapshot::apply_delta`] — patched CSR rows, patched node index,
+    /// scoped 2-hop re-labeling); larger deltas rebuild from scratch, and
+    /// no-op deltas republish. [`ApplyReport::path`] records the decision.
+    ///
+    /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     pub fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
         let mut w = self.writer.lock().expect("writer lock poisoned");
-        let reach_stats = w.reach.apply(batch);
+        let (reach_stats, delta) = w.reach.apply_with_delta(batch);
         let pattern_stats = w.pattern.as_mut().map(|p| p.apply(batch));
         w.version += 1;
-        let snapshot = Snapshot::build(
-            w.version,
-            w.reach.graph(),
-            w.reach.partition(),
-            w.pattern.as_ref().map(MaintainedPattern::compression),
-            &self.config,
-        );
+        let pattern = w.pattern.as_ref().map(MaintainedPattern::compression);
+        let publish_start = std::time::Instant::now();
+        let prev = self.load();
+        let (snapshot, path) = if delta.is_empty() {
+            (
+                Snapshot::republish(&prev, w.version, pattern),
+                ApplyPath::Republished,
+            )
+        } else {
+            let sq = w.reach.stable_quotient();
+            let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
+            if churn > self.config.damage_threshold {
+                (
+                    Snapshot::build(w.version, &sq, pattern, &self.config),
+                    ApplyPath::Rebuilt { churn },
+                )
+            } else {
+                let (snapshot, two_hop_patched) =
+                    Snapshot::apply_delta(&prev, w.version, &sq, &delta, pattern, &self.config);
+                (
+                    snapshot,
+                    ApplyPath::Patched {
+                        churn,
+                        two_hop_patched,
+                    },
+                )
+            }
+        };
         *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
         ApplyReport {
             version: w.version,
             reach: reach_stats,
             pattern: pattern_stats,
+            path,
+            publish_ms: publish_start.elapsed().as_secs_f64() * 1e3,
         }
     }
 }

@@ -1,0 +1,255 @@
+//! Differential suite for delta-patched snapshot construction.
+//!
+//! Every stream drives the *same* seeded update batches through two
+//! [`CompressedStore`]s — one with delta patching enabled, one with
+//! `damage_threshold = 0` so every batch rebuilds the snapshot from
+//! scratch — and checks, at **every version**:
+//!
+//! * the patched quotient CSR is bit-identical to the rebuilt one (both
+//!   stores replay the same maintained state, so stable class ids line up
+//!   and the transitive reductions must coincide edge for edge);
+//! * every reachability answer matches a BFS oracle on the updated data
+//!   graph (which also proves the two stores agree with each other), with
+//!   and without the 2-hop index.
+//!
+//! Streams cover insert-heavy, delete-heavy, and mixed batches over cyclic
+//! and DAG-shaped graphs (≥ 100 streams in total), plus a damage-threshold
+//! boundary sweep where some batches patch and others fall back to a full
+//! rebuild — the boundary itself is asserted to be exercised from both
+//! sides.
+
+use qpgc_graph::traversal::bfs_reachable;
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use qpgc_serve::{ApplyPath, CompressedStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(rng: &mut StdRng, n_max: usize, dag: bool) -> LabeledGraph {
+    let n = rng.gen_range(3..n_max);
+    let m = rng.gen_range(0..n * 3);
+    let mut g = LabeledGraph::new();
+    for _ in 0..n {
+        g.add_node_with_label("X");
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if dag {
+            // Edges point id-upward: the graph stays acyclic through every
+            // update batch generated the same way.
+            if u < v {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+        } else {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    g
+}
+
+/// A batch of `count` updates; each is an insertion with probability
+/// `insert_bias` (DAG streams only generate id-upward insertions).
+fn random_batch(
+    rng: &mut StdRng,
+    n: usize,
+    count: usize,
+    insert_bias: f64,
+    dag: bool,
+) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for _ in 0..count {
+        let mut u = rng.gen_range(0..n) as u32;
+        let mut v = rng.gen_range(0..n) as u32;
+        if dag && u > v {
+            std::mem::swap(&mut u, &mut v);
+        }
+        if dag && u == v {
+            continue;
+        }
+        if rng.gen_bool(insert_bias) {
+            batch.insert(NodeId(u), NodeId(v));
+        } else {
+            batch.delete(NodeId(u), NodeId(v));
+        }
+    }
+    batch
+}
+
+/// Runs one stream through a delta-patching store and a rebuild-everything
+/// store, asserting structural and answer equivalence at every version.
+/// Returns the apply paths the delta store took.
+fn run_stream(
+    seed: u64,
+    dag: bool,
+    insert_bias: f64,
+    two_hop: bool,
+    damage_threshold: f64,
+) -> Vec<ApplyPath> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = random_graph(&mut rng, 22, dag);
+    let config = |threshold: f64| StoreConfig {
+        two_hop: two_hop.then(Default::default),
+        damage_threshold: threshold,
+        ..StoreConfig::default()
+    };
+    let delta_store = CompressedStore::new(g.clone(), config(damage_threshold));
+    let full_store = CompressedStore::new(g.clone(), config(0.0));
+    let mut paths = Vec::new();
+    for step in 0..4 {
+        let count = rng.gen_range(1..5);
+        let batch = random_batch(&mut rng, g.node_count(), count, insert_bias, dag);
+        let report = delta_store.apply(&batch);
+        let full_report = full_store.apply(&batch);
+        batch.apply_to(&mut g);
+        paths.push(report.path);
+        assert_eq!(report.version, full_report.version);
+
+        let patched = delta_store.load();
+        let rebuilt = full_store.load();
+        // Structural: both stores evolved the same stable class ids, so the
+        // delta-patched transitive reduction must equal the from-scratch one
+        // edge for edge.
+        assert_eq!(
+            patched.compressed_graph().edges().collect::<Vec<_>>(),
+            rebuilt.compressed_graph().edges().collect::<Vec<_>>(),
+            "seed {seed} step {step}: patched quotient diverged from rebuilt"
+        );
+        assert_eq!(patched.class_count(), rebuilt.class_count());
+
+        // Answers: every pair against the BFS oracle on the updated graph.
+        for u in g.nodes() {
+            for w in g.nodes() {
+                let expected = bfs_reachable(&g, u, w);
+                assert_eq!(
+                    patched.reachable(u, w),
+                    expected,
+                    "seed {seed} step {step}: delta store wrong on ({u},{w})"
+                );
+                assert_eq!(
+                    rebuilt.reachable(u, w),
+                    expected,
+                    "seed {seed} step {step}: full store wrong on ({u},{w})"
+                );
+            }
+        }
+    }
+    paths
+}
+
+/// 60 streams (2 shapes × 3 update mixes × 10 seeds) with the 2-hop index
+/// on and patching forced — the scoped re-labeling path.
+#[test]
+fn delta_streams_with_two_hop_match_full_rebuilds() {
+    let mut patched = 0usize;
+    for (s, &dag) in [false, true].iter().enumerate() {
+        for (m, &bias) in [0.8, 0.2, 0.5].iter().enumerate() {
+            for i in 0..10u64 {
+                let seed = 1000 + (s as u64) * 100 + (m as u64) * 10 + i;
+                let paths = run_stream(seed, dag, bias, true, f64::INFINITY);
+                patched += paths
+                    .iter()
+                    .filter(|p| matches!(p, ApplyPath::Patched { .. }))
+                    .count();
+            }
+        }
+    }
+    assert!(
+        patched > 100,
+        "only {patched} patched publications across the suite"
+    );
+}
+
+/// 40 more streams without the index — the pure CSR / transitive-reduction
+/// patching path, where queries BFS the patched quotient directly.
+#[test]
+fn delta_streams_without_index_match_full_rebuilds() {
+    for (s, &dag) in [false, true].iter().enumerate() {
+        for i in 0..20u64 {
+            let seed = 2000 + (s as u64) * 100 + i;
+            run_stream(seed, dag, 0.5, false, f64::INFINITY);
+        }
+    }
+}
+
+/// Damage-threshold boundary: with a mid threshold some batches patch and
+/// some rebuild; correctness must hold on both sides of the boundary and
+/// both sides must actually occur across the sweep.
+#[test]
+fn damage_threshold_boundary_exercises_both_paths() {
+    let mut saw_patched = false;
+    let mut saw_rebuilt = false;
+    // On graphs this small a single batch often churns most of the class
+    // space, so the boundary sits high; 0.75 puts real streams on both
+    // sides of it.
+    const THRESHOLD: f64 = 0.75;
+    for i in 0..20u64 {
+        for path in run_stream(3000 + i, false, 0.5, true, THRESHOLD) {
+            match path {
+                ApplyPath::Patched { churn, .. } => {
+                    assert!(
+                        churn <= THRESHOLD,
+                        "patched above the threshold: churn {churn}"
+                    );
+                    saw_patched = true;
+                }
+                ApplyPath::Rebuilt { churn } => {
+                    assert!(
+                        churn > THRESHOLD,
+                        "rebuilt below the threshold: churn {churn}"
+                    );
+                    saw_rebuilt = true;
+                }
+                ApplyPath::Republished => {}
+            }
+        }
+    }
+    assert!(saw_patched, "threshold sweep never took the patched path");
+    assert!(saw_rebuilt, "threshold sweep never fell back to a rebuild");
+}
+
+/// `damage_threshold = 0` must behave exactly like the pre-delta store:
+/// every effective batch rebuilds, and reports say so.
+#[test]
+fn zero_threshold_always_rebuilds() {
+    for i in 0..5u64 {
+        for path in run_stream(4000 + i, false, 0.5, true, 0.0) {
+            assert!(
+                !matches!(path, ApplyPath::Patched { .. }),
+                "patched despite damage_threshold = 0"
+            );
+        }
+    }
+}
+
+/// Long stream: 12 consecutive patched publications on one store, so
+/// tombstoned ranks and recycled class ids accumulate across many
+/// generations (the compaction fallback is allowed to trigger).
+#[test]
+fn long_patch_chains_stay_consistent() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut g = random_graph(&mut rng, 18, false);
+    let store = CompressedStore::new(
+        g.clone(),
+        StoreConfig {
+            two_hop: Some(Default::default()),
+            damage_threshold: f64::INFINITY,
+            ..StoreConfig::default()
+        },
+    );
+    for step in 0..12 {
+        let count = rng.gen_range(1..4);
+        let batch = random_batch(&mut rng, g.node_count(), count, 0.5, false);
+        store.apply(&batch);
+        batch.apply_to(&mut g);
+        let snap = store.load();
+        for u in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(
+                    snap.reachable(u, w),
+                    bfs_reachable(&g, u, w),
+                    "step {step}: ({u},{w})"
+                );
+            }
+        }
+    }
+}
