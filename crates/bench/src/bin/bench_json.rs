@@ -1,8 +1,8 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_4.json
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_3.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_5.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_4.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
@@ -16,7 +16,7 @@
 use qpgc_bench::perf::{compare_report, perf_snapshot};
 
 fn main() {
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut compare_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -83,15 +83,17 @@ fn main() {
     }
     for row in &snap.snapshot_incremental {
         eprintln!(
-            "  snapshot_incremental {} (1/{}, two_hop={}): full {:.3} ms vs delta {:.3} ms ({:.2}x, {}/{} patched)",
+            "  snapshot_incremental {} (1/{}, two_hop={}, patterns={}): full {:.3} ms vs delta {:.3} ms ({:.2}x, {}/{} patched, {} pattern-patched)",
             row.dataset,
             row.scale,
             row.two_hop,
+            row.serve_patterns,
             row.full_ms,
             row.delta_ms,
             row.speedup,
             row.patched_batches,
-            row.batches
+            row.batches,
+            row.pattern_patched_batches
         );
     }
 

@@ -8,7 +8,7 @@
 use qpgc_graph::update::PartitionDelta;
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
 use qpgc_pattern::compress::PatternCompression;
-use qpgc_pattern::incremental::{IncPatternStats, IncrementalPattern};
+use qpgc_pattern::incremental::{IncPatternStats, IncrementalPattern, StablePatternQuotient};
 use qpgc_pattern::pattern::{MatchRelation, Pattern};
 use qpgc_reach::compress::ReachCompression;
 use qpgc_reach::equivalence::ReachPartition;
@@ -137,6 +137,26 @@ impl MaintainedPattern {
     /// Materializes the current compression.
     pub fn compression(&self) -> PatternCompression {
         self.inc.to_compression()
+    }
+
+    /// Exports the current state under **stable** class ids (node → class
+    /// index, labels, liveness, member lists, maintained quotient edges).
+    /// Stable ids survive across updates for untouched classes, which is
+    /// what lets snapshot layers patch a served
+    /// [`PatternView`](qpgc_pattern::view::PatternView) from a
+    /// [`PartitionDelta`] instead of re-materializing the compression; see
+    /// [`StablePatternQuotient`].
+    pub fn stable_quotient(&self) -> StablePatternQuotient {
+        self.inc.stable_quotient()
+    }
+
+    /// [`MaintainedPattern::stable_quotient`] with member lists left empty —
+    /// what snapshot layers feed to `PatternView::apply_delta`, which takes
+    /// churned members from the [`PartitionDelta`] and carries the rest over
+    /// from the previous view, so the full per-class member clone would be
+    /// pure waste on the patch path.
+    pub fn stable_quotient_without_members(&self) -> StablePatternQuotient {
+        self.inc.stable_quotient_without_members()
     }
 }
 

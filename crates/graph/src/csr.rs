@@ -349,6 +349,30 @@ impl CsrGraph {
         }
     }
 
+    /// [`CsrGraph::patch_with`] that additionally rewrites the labels of
+    /// existing rows. Needed by quotient snapshots whose row ids are
+    /// *recycled* (a retired class id reborn as a different class carries a
+    /// different label): [`CsrGraph::patch_with`] alone carries every
+    /// existing row's label over verbatim. `relabels` is applied in order,
+    /// so a later entry for the same row wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a relabelled row is out of bounds.
+    pub fn patch_relabeled(
+        &self,
+        added: &[(NodeId, NodeId)],
+        removed: &[(NodeId, NodeId)],
+        appended_labels: &[Label],
+        relabels: &[(NodeId, Label)],
+    ) -> CsrGraph {
+        let mut out = self.patch_with(added, removed, appended_labels);
+        for &(v, l) in relabels {
+            out.labels[v.index()] = l;
+        }
+        out
+    }
+
     /// Thaws the snapshot back into a mutable [`LabeledGraph`] (same nodes,
     /// labels, interner, and edge set).
     pub fn to_graph(&self) -> LabeledGraph {
@@ -610,6 +634,23 @@ mod tests {
         assert!(patched.out_neighbors(NodeId(3)).is_empty());
         assert_eq!(patched.out_neighbors(NodeId(4)), &[n[0]]);
         assert_eq!(patched.in_neighbors(n[0]), &[n[2], NodeId(4)]);
+    }
+
+    #[test]
+    fn patch_relabeled_rewrites_row_labels() {
+        let (g, n) = sample(); // labels A, B, C
+        let csr = CsrGraph::from_graph(&g);
+        let a = csr.label(n[0]);
+        let c = csr.label(n[2]);
+        let patched = csr.patch_relabeled(&[], &[(n[0], n[2])], &[c], &[(n[1], a), (n[1], c)]);
+        assert_eq!(patched.node_count(), 4);
+        // Later relabel entry for the same row wins.
+        assert_eq!(patched.label(n[1]), c);
+        assert_eq!(patched.label_name(n[1]), Some("C"));
+        // Untouched rows keep their labels; appended row got the given one.
+        assert_eq!(patched.label_name(n[0]), Some("A"));
+        assert_eq!(patched.label_name(NodeId(3)), Some("C"));
+        assert!(!patched.has_edge(n[0], n[2]));
     }
 
     #[test]

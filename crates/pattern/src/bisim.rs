@@ -81,6 +81,21 @@ impl BisimPartition {
         self.class_of(u) == self.class_of(v)
     }
 
+    /// Approximate heap footprint in bytes (node index, member lists, block
+    /// labels), following the capacity-based convention of
+    /// [`LabeledGraph::heap_bytes`](qpgc_graph::LabeledGraph::heap_bytes).
+    pub fn heap_bytes(&self) -> usize {
+        let node_id = std::mem::size_of::<NodeId>();
+        let member_lists: usize = self
+            .members
+            .iter()
+            .map(|m| m.capacity() * node_id + std::mem::size_of::<Vec<NodeId>>())
+            .sum();
+        self.class_of.capacity() * std::mem::size_of::<u32>()
+            + member_lists
+            + self.labels.capacity() * std::mem::size_of::<Label>()
+    }
+
     /// Canonical form (sorted member lists sorted by first member) for
     /// comparisons in tests.
     pub fn canonical(&self) -> Vec<Vec<u32>> {

@@ -12,21 +12,28 @@
 
 use std::collections::VecDeque;
 
-use qpgc_graph::{LabeledGraph, NodeId};
+use qpgc_graph::{GraphView, NodeId};
 
 use crate::pattern::{resolve_labels, EdgeBound, MatchRelation, Pattern};
 
 /// Computes the maximum bounded-simulation match of `pattern` in `g`.
 ///
+/// Generic over [`GraphView`]: runs identically on the mutable
+/// [`LabeledGraph`](qpgc_graph::LabeledGraph) and on CSR snapshots such as
+/// the serving layer's patched pattern quotients.
+///
 /// Returns `None` if the pattern does not match (`Qp ⋬ G`), otherwise the
 /// maximum match relation `SM`.
-pub fn bounded_match(g: &LabeledGraph, pattern: &Pattern) -> Option<MatchRelation> {
+pub fn bounded_match<G: GraphView>(g: &G, pattern: &Pattern) -> Option<MatchRelation> {
     bounded_match_from(g, pattern, initial_candidates(g, pattern)?)
 }
 
 /// Builds the initial (label-based) candidate sets; `None` if some pattern
 /// node has no candidate at all.
-pub(crate) fn initial_candidates(g: &LabeledGraph, pattern: &Pattern) -> Option<Vec<Vec<NodeId>>> {
+pub(crate) fn initial_candidates<G: GraphView>(
+    g: &G,
+    pattern: &Pattern,
+) -> Option<Vec<Vec<NodeId>>> {
     if pattern.node_count() == 0 {
         return None;
     }
@@ -49,8 +56,8 @@ pub(crate) fn initial_candidates(g: &LabeledGraph, pattern: &Pattern) -> Option<
 /// Builds the initial label-based candidate sets, allowing empty sets (used
 /// by the incremental algorithm, which tracks per-node fixpoints even when
 /// the overall pattern does not match).
-pub(crate) fn initial_candidates_allow_empty(
-    g: &LabeledGraph,
+pub(crate) fn initial_candidates_allow_empty<G: GraphView>(
+    g: &G,
     pattern: &Pattern,
 ) -> Vec<Vec<NodeId>> {
     let labels = resolve_labels(pattern, g);
@@ -69,8 +76,8 @@ pub(crate) fn initial_candidates_allow_empty(
 /// previous result that can only have shrunk). Empty candidate sets are
 /// allowed and simply propagate. Exposed for the incremental algorithm
 /// (`IncBMatch`).
-pub(crate) fn refine_to_fixpoint(
-    g: &LabeledGraph,
+pub(crate) fn refine_to_fixpoint<G: GraphView>(
+    g: &G,
     pattern: &Pattern,
     mut sim: Vec<Vec<NodeId>>,
 ) -> Vec<Vec<NodeId>> {
@@ -97,8 +104,8 @@ pub(crate) fn refine_to_fixpoint(
 
 /// Runs the refinement from `sim` and packages the result as a match
 /// relation (`None` if some pattern node ends up with no match).
-pub(crate) fn bounded_match_from(
-    g: &LabeledGraph,
+pub(crate) fn bounded_match_from<G: GraphView>(
+    g: &G,
     pattern: &Pattern,
     sim: Vec<Vec<NodeId>>,
 ) -> Option<MatchRelation> {
@@ -118,7 +125,7 @@ pub(crate) fn bounded_match_from(
 
 /// Multi-source reverse BFS: marks every node that has a non-empty path of
 /// length ≤ `bound` (unlimited for `*`) to some node in `targets`.
-fn reverse_reach_within(g: &LabeledGraph, targets: &[NodeId], bound: EdgeBound) -> Vec<bool> {
+fn reverse_reach_within<G: GraphView>(g: &G, targets: &[NodeId], bound: EdgeBound) -> Vec<bool> {
     let limit = bound.hop_limit();
     let n = g.node_count();
     let mut dist = vec![usize::MAX; n];
@@ -150,7 +157,7 @@ fn reverse_reach_within(g: &LabeledGraph, targets: &[NodeId], bound: EdgeBound) 
 }
 
 /// Evaluates the Boolean pattern query: `true` iff `Qp ⊴ G`.
-pub fn boolean_match(g: &LabeledGraph, pattern: &Pattern) -> bool {
+pub fn boolean_match<G: GraphView>(g: &G, pattern: &Pattern) -> bool {
     bounded_match(g, pattern).is_some()
 }
 
@@ -159,6 +166,7 @@ mod tests {
     use super::*;
     use crate::simulation::simulation_match;
     use qpgc_graph::traversal;
+    use qpgc_graph::LabeledGraph;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

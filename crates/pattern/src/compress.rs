@@ -41,17 +41,7 @@ impl PatternCompression {
     /// on `Gr` into the match relation on `G` by replacing every hypernode
     /// with its members. Runs in time linear in the size of the output.
     pub fn post_process(&self, on_compressed: &MatchRelation) -> MatchRelation {
-        let mut out = MatchRelation::empty(on_compressed.matches.len());
-        for (u, classes) in on_compressed.matches.iter().enumerate() {
-            let mut expanded: Vec<NodeId> = Vec::new();
-            for &c in classes {
-                expanded.extend_from_slice(self.members_of(c));
-            }
-            expanded.sort_unstable();
-            expanded.dedup();
-            out.matches[u] = expanded;
-        }
-        out
+        crate::pattern::expand_match_relation(on_compressed, |c| self.members_of(c))
     }
 
     /// Number of hypernodes (`|Vr|`).
@@ -62,6 +52,17 @@ impl PatternCompression {
     /// The compression ratio `|Gr| / |G|` (the paper's `PCr`).
     pub fn ratio(&self, original: &LabeledGraph) -> f64 {
         qpgc_graph::stats::compression_ratio(original, &self.graph)
+    }
+
+    /// Approximate heap footprint in bytes (quotient graph + partition),
+    /// following the capacity-based convention of
+    /// [`LabeledGraph::heap_bytes`] / `CsrGraph::heap_bytes` so serving
+    /// layers can account for the pattern side next to the
+    /// reachability-side structures.
+    ///
+    /// [`LabeledGraph::heap_bytes`]: qpgc_graph::LabeledGraph::heap_bytes
+    pub fn heap_bytes(&self) -> usize {
+        self.graph.heap_bytes() + self.partition.heap_bytes()
     }
 }
 
@@ -295,5 +296,13 @@ mod tests {
         let c = compress_b(&g);
         assert_eq!(c.class_count(), 0);
         assert_eq!(c.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_counts_graph_and_partition() {
+        let g = recommendation_network();
+        let c = compress_b(&g);
+        assert!(c.heap_bytes() > c.graph.heap_bytes());
+        assert!(c.heap_bytes() > c.partition.heap_bytes());
     }
 }

@@ -33,6 +33,7 @@
 //! dependence on `|Gr|` is unavoidable in general).
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use qpgc_graph::ids::LabelInterner;
 use qpgc_graph::update::{ClassBirth, PartitionDelta};
@@ -40,6 +41,56 @@ use qpgc_graph::{Label, LabeledGraph, NodeId, UpdateBatch};
 
 use crate::bisim::{bisimulation_partition, BisimPartition};
 use crate::compress::PatternCompression;
+
+/// The maintained pattern compression exported under **stable** class ids —
+/// the bisimulation-side mirror of
+/// `qpgc_reach::incremental::StableQuotient`.
+///
+/// Stable ids survive across updates for classes a batch's
+/// [`PartitionDelta`] does not touch, which is what lets snapshot layers
+/// *patch* their served pattern structure (see
+/// [`PatternView`](crate::view::PatternView)) instead of re-materializing
+/// [`PatternCompression`] every batch. Retired ids are inactive holes;
+/// derived structures keep an isolated row for them.
+#[derive(Clone, Debug)]
+pub struct StablePatternQuotient {
+    /// `class_of[v]` — stable class id of node `v` (always an active id).
+    /// Empty in the light export
+    /// ([`IncrementalPattern::stable_quotient_without_members`]), whose
+    /// consumers patch the node index from the delta's births instead.
+    pub class_of: Vec<u32>,
+    /// Class label per stable id (stale for inactive ids).
+    pub labels: Vec<Label>,
+    /// Liveness per stable id.
+    pub active: Vec<bool>,
+    /// Member nodes per stable id, ascending (empty for inactive ids).
+    /// Shared slices so consumers that keep per-class member rows (the
+    /// served [`PatternView`](crate::view::PatternView)) adopt them with a
+    /// reference bump instead of a second copy.
+    pub members: Vec<Arc<[NodeId]>>,
+    /// Distinct class-level edges of the quotient — the key set of the
+    /// maintained quotient-edge counters, sorted by `(source, target)`
+    /// stable id. Self entries `(c, c)` are included (they are the
+    /// hypernode self loops induced by intra-class edges).
+    pub edges: Vec<(u32, u32)>,
+    /// Label names of the original graph, so views built from this export
+    /// can resolve pattern queries written against the original label
+    /// vocabulary. Fresh (empty) in the light export — patch consumers
+    /// keep their own interner.
+    pub interner: LabelInterner,
+}
+
+impl StablePatternQuotient {
+    /// Size of the stable id space (`max id + 1`, holes included).
+    pub fn id_space(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of live classes (`|Vr|`).
+    pub fn class_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+}
 
 /// Statistics of one incremental maintenance step.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -363,6 +414,50 @@ impl IncrementalPattern {
             removed,
             added: births,
             id_space: self.members.len(),
+        }
+    }
+
+    /// Exports the current state under **stable** class ids (node → class
+    /// index, labels, liveness, member lists, and the distinct class-level
+    /// edges from the maintained counters — no graph rescan). Stable ids
+    /// survive across updates for untouched classes, which is what lets
+    /// snapshot layers patch a served [`PatternView`](crate::view::PatternView)
+    /// from a [`PartitionDelta`] instead of rebuilding it; see
+    /// [`StablePatternQuotient`].
+    pub fn stable_quotient(&self) -> StablePatternQuotient {
+        let mut spq = self.stable_quotient_without_members();
+        spq.class_of = self.class_of.clone();
+        spq.interner = self.interner.clone();
+        spq.members = self
+            .members
+            .iter()
+            .map(|m| Arc::from(m.as_slice()))
+            .collect();
+        spq
+    }
+
+    /// The **light** export for *patch* consumers: `members` are empty
+    /// rows, `class_of` is empty, and the interner is fresh.
+    /// `PatternView::apply_delta` carries untouched member rows over from
+    /// its predecessor, takes churned ones from the [`PartitionDelta`]'s
+    /// births, patches the node index from the births too, and resolves the
+    /// retired-row sentinel through its own interner — so the only pieces
+    /// it reads from the export are the per-class structures (`labels`,
+    /// `active`, `edges`). Cloning the `O(|V|)` node index and every member
+    /// list here would scale the patch path with graph size instead of
+    /// churn.
+    ///
+    /// [`PatternView::apply_delta`]: crate::view::PatternView::apply_delta
+    pub fn stable_quotient_without_members(&self) -> StablePatternQuotient {
+        let mut edges: Vec<(u32, u32)> = self.q_edges.keys().copied().collect();
+        edges.sort_unstable();
+        StablePatternQuotient {
+            class_of: Vec::new(),
+            labels: self.labels.clone(),
+            active: self.active.clone(),
+            members: vec![Arc::from(&[][..]); self.members.len()],
+            edges,
+            interner: LabelInterner::new(),
         }
     }
 

@@ -24,6 +24,10 @@
 //!   compression under batch updates, plus the `IncBsim` baseline.
 //! * [`inc_match`] — `IncBMatch`: incremental maintenance of a pattern
 //!   query's match relation under updates (the baseline of Fig. 12(h)).
+//! * [`view`] — [`PatternView`](view::PatternView): the snapshot-facing,
+//!   *patchable* form of the compression (stable-id CSR quotient derived
+//!   from its predecessor via a `PartitionDelta` instead of re-materialized
+//!   per batch), consumed by serving layers.
 //!
 //! ## Example
 //!
@@ -69,11 +73,13 @@ pub mod inc_match;
 pub mod incremental;
 pub mod pattern;
 pub mod simulation;
+pub mod view;
 
 pub use bisim::{bisimulation_partition, bisimulation_partition_csr, BisimPartition};
 pub use bounded::bounded_match;
 pub use compress::{compress_b, compress_b_csr, PatternCompression};
 pub use inc_match::IncrementalMatch;
-pub use incremental::{IncPatternStats, IncrementalPattern};
+pub use incremental::{IncPatternStats, IncrementalPattern, StablePatternQuotient};
 pub use pattern::{EdgeBound, MatchRelation, Pattern};
 pub use simulation::{simulation_match, simulation_match_csr};
+pub use view::PatternView;

@@ -148,6 +148,54 @@ pub struct MatchRelation {
     pub matches: Vec<Vec<NodeId>>,
 }
 
+/// The post-processing function `P`, shared by every compressed form:
+/// expands a match relation computed on a quotient graph into the relation
+/// on the original graph by replacing each hypernode with its members
+/// (looked up through `members_of`). Runs in time linear in the size of the
+/// output.
+pub(crate) fn expand_match_relation<'a>(
+    on_compressed: &MatchRelation,
+    members_of: impl Fn(NodeId) -> &'a [NodeId],
+) -> MatchRelation {
+    let mut out = MatchRelation::empty(on_compressed.matches.len());
+    for (u, classes) in on_compressed.matches.iter().enumerate() {
+        let mut expanded: Vec<NodeId> = Vec::new();
+        for &c in classes {
+            expanded.extend_from_slice(members_of(c));
+        }
+        expanded.sort_unstable();
+        expanded.dedup();
+        out.matches[u] = expanded;
+    }
+    out
+}
+
+/// Differential-testing oracle shared by every suite that compares two ways
+/// of answering the same pattern query: panics unless the optional match
+/// relations agree as booleans and — when both match — as canonical
+/// relations. `ctx` prefixes the failure message. Keeping the comparison in
+/// one place guarantees the unit, integration, and bench differentials all
+/// apply the identical equivalence.
+pub fn assert_same_answer(
+    expected: &Option<MatchRelation>,
+    got: &Option<MatchRelation>,
+    ctx: &str,
+) {
+    match (expected, got) {
+        (None, None) => {}
+        (Some(x), Some(y)) => assert_eq!(
+            x.canonical(),
+            y.canonical(),
+            "{ctx}: match relations diverged"
+        ),
+        (x, y) => panic!(
+            "{ctx}: boolean answers diverged (expected matched = {}, got matched = {})",
+            x.is_some(),
+            y.is_some()
+        ),
+    }
+}
+
 impl MatchRelation {
     /// Creates a relation for a pattern with `pattern_nodes` nodes, with all
     /// match sets empty.

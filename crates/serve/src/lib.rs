@@ -10,8 +10,9 @@
 //! * [`Snapshot`] — an immutable, versioned view of one compression state:
 //!   the CSR form of `Gr` (rows indexed by the maintainer's *stable* class
 //!   ids), the node → hypernode index, the cyclic flags, an optional
-//!   [`TwoHopIndex`] over `Gr`, and (optionally) the pattern compression.
-//!   Everything a query needs, nothing a writer can touch.
+//!   [`TwoHopIndex`] over `Gr`, and (optionally) an `Arc`-shared
+//!   [`PatternView`] — the patchable, stable-id CSR form of the pattern
+//!   compression. Everything a query needs, nothing a writer can touch.
 //! * [`CompressedStore`] — owns the current `Arc<Snapshot>` behind a
 //!   pointer-swap. Readers call [`CompressedStore::load`], which clones the
 //!   `Arc` (the read lock is held only for the pointer copy — never during
@@ -22,21 +23,25 @@
 //!   pre-batch view until they re-`load`.
 //! * [`bulk_reachable`] — shards a query batch across `std::thread::scope`
 //!   workers, all reading the same shared snapshot.
-//! * Snapshot *publication* is **incremental**: below the configurable
-//!   damage threshold ([`StoreConfig::damage_threshold`]) the writer
-//!   derives the next snapshot from the previous one via the batch's
-//!   `PartitionDelta` — quotient CSR rows are patched in place
-//!   (`CsrGraph::patch`, untouched spans copied wholesale), transitive
-//!   reduction is re-decided only for rows the delta can have changed, and
-//!   the 2-hop index re-labels only landmarks whose reachability cones
-//!   touch the changed classes ([`TwoHopIndex::patch`]). Past the
-//!   threshold, or when a batch leaves the partition untouched, the store
-//!   falls back to a from-scratch build or a cheap republication;
-//!   [`ApplyReport::path`] records which. The optional 2-hop build can
-//!   still run its per-landmark forward/backward passes on two threads
-//!   (`TwoHopConfig::parallel`); [`parallel::class_edges`] remains for
-//!   materializing quotient edges from scratch when no maintained
-//!   counters exist.
+//! * Snapshot *publication* is **incremental on both query classes**:
+//!   below the configurable damage threshold
+//!   ([`StoreConfig::damage_threshold`]) the writer derives the next
+//!   snapshot from the previous one via each side's `PartitionDelta` —
+//!   quotient CSR rows are patched in place (`CsrGraph::patch`, untouched
+//!   spans copied wholesale), transitive reduction is re-decided only for
+//!   rows the delta can have changed, the 2-hop index re-labels only
+//!   landmarks whose reachability cones touch the changed classes
+//!   ([`TwoHopIndex::patch`]), and the pattern view re-derives only the
+//!   quotient rows the bisimulation delta can have changed
+//!   (`PatternView::apply_delta`). The two sides are gated independently:
+//!   heavy bisimulation churn rebuilds only the pattern view, heavy
+//!   reachability churn only the reachability structures, and a side whose
+//!   partition a batch leaves untouched is `Arc`-shared with the previous
+//!   snapshot outright. [`ApplyReport::path`] records both decisions. The
+//!   optional 2-hop build can still run its per-landmark forward/backward
+//!   passes on two threads (`TwoHopConfig::parallel`);
+//!   [`parallel::class_edges`] remains for materializing quotient edges
+//!   from scratch when no maintained counters exist.
 //!
 //! ## Consistency model
 //!
@@ -48,6 +53,7 @@
 //!
 //! [`TwoHopIndex`]: qpgc_reach::two_hop::TwoHopIndex
 //! [`UpdateBatch`]: qpgc_graph::UpdateBatch
+//! [`PatternView`]: qpgc_pattern::view::PatternView
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -29,6 +29,14 @@
 //!   cones (old or new) intersect the changed classes
 //!   ([`TwoHopIndex::patch`]); past a damage threshold (or once tombstoned
 //!   ranks outnumber live ones) it falls back to a compacting full build.
+//!
+//! The pattern side follows the same discipline, one level up: the store
+//! derives the next [`PatternView`] from the previous snapshot's via
+//! [`PatternView::apply_delta`] (row-patched under the same damage gate,
+//! measured against the live bisimulation classes), shares it pointer-wise
+//! when the batch leaves the bisimulation partition untouched, and passes
+//! the resulting `Arc` into whichever reachability-side constructor runs —
+//! the two sides patch, rebuild, or republish independently.
 
 use qpgc_graph::ids::LabelInterner;
 use qpgc_graph::reach_sets::{DagReach, DEFAULT_CHUNK};
@@ -38,9 +46,8 @@ use std::sync::Arc;
 
 use qpgc_graph::update::{EdgeDelta, PartitionDelta};
 use qpgc_graph::{CsrGraph, Label, NodeId};
-use qpgc_pattern::bounded::bounded_match;
-use qpgc_pattern::compress::PatternCompression;
 use qpgc_pattern::pattern::{MatchRelation, Pattern};
+use qpgc_pattern::view::PatternView;
 use qpgc_reach::incremental::StableQuotient;
 use qpgc_reach::two_hop::TwoHopIndex;
 
@@ -52,12 +59,14 @@ use crate::store::StoreConfig;
 /// readers query it concurrently without synchronization. The reachability
 /// side is always present (CSR `Gr` over the stable class-id space, node →
 /// hypernode index, cyclic flags, optionally a 2-hop index over `Gr`); the
-/// pattern side is present when the owning store was configured with
-/// `serve_patterns`.
+/// pattern side ([`PatternView`], also indexed by stable class ids) is
+/// present when the owning store was configured with `serve_patterns`.
 /// The heavy, version-independent parts (`Gr`, the node index, the 2-hop
-/// labels) sit behind `Arc`s so that cloning a snapshot — in particular
-/// [`Snapshot::republish`], the path for batches that change the edge set
-/// but not the partition — costs pointer bumps, not a heap copy.
+/// labels, the pattern view) sit behind `Arc`s so that cloning a snapshot —
+/// in particular [`Snapshot::republish`], the path for batches that change
+/// the edge set but no partition — costs pointer bumps, not a heap copy;
+/// a batch that leaves the bisimulation partition untouched shares the
+/// pattern view with its predecessor pointer-wise.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     version: u64,
@@ -66,7 +75,7 @@ pub struct Snapshot {
     cyclic: Arc<Vec<bool>>,
     live_classes: usize,
     two_hop: Option<Arc<TwoHopIndex>>,
-    pattern: Option<PatternCompression>,
+    pattern: Option<Arc<PatternView>>,
 }
 
 impl Snapshot {
@@ -77,7 +86,7 @@ impl Snapshot {
     pub(crate) fn build(
         version: u64,
         sq: &StableQuotient,
-        pattern: Option<PatternCompression>,
+        pattern: Option<Arc<PatternView>>,
         config: &StoreConfig,
     ) -> Snapshot {
         let id_space = sq.id_space();
@@ -114,7 +123,7 @@ impl Snapshot {
         version: u64,
         sq: &StableQuotient,
         delta: &PartitionDelta,
-        pattern: Option<PatternCompression>,
+        pattern: Option<Arc<PatternView>>,
         config: &StoreConfig,
     ) -> (Snapshot, bool) {
         let id_space = delta.id_space;
@@ -296,14 +305,16 @@ impl Snapshot {
         )
     }
 
-    /// A re-publication of the same compression state under a new version
+    /// A re-publication of the same reachability state under a new version
     /// (the batch changed the edge set but not the reachability partition);
-    /// only the pattern side is replaced. Cheap: the reachability-side
-    /// structures are `Arc`-shared with the predecessor.
+    /// only the pattern view is replaced — and a pattern-quiet batch passes
+    /// the predecessor's own view back in, making the whole republication a
+    /// handful of `Arc` bumps. The reachability-side structures are always
+    /// `Arc`-shared with the predecessor.
     pub(crate) fn republish(
         prev: &Snapshot,
         version: u64,
-        pattern: Option<PatternCompression>,
+        pattern: Option<Arc<PatternView>>,
     ) -> Snapshot {
         Snapshot {
             version,
@@ -331,10 +342,16 @@ impl Snapshot {
         self.two_hop.as_deref()
     }
 
-    /// The pattern compression, when the store was configured with
+    /// The pattern view, when the store was configured with
     /// `serve_patterns`.
-    pub fn pattern_view(&self) -> Option<&PatternCompression> {
-        self.pattern.as_ref()
+    pub fn pattern_view(&self) -> Option<&PatternView> {
+        self.pattern.as_deref()
+    }
+
+    /// The pattern view's `Arc`, for publication paths that share it with
+    /// the next snapshot pointer-wise.
+    pub(crate) fn pattern_arc(&self) -> Option<Arc<PatternView>> {
+        self.pattern.clone()
     }
 
     /// The hypernode of `Gr` containing original node `v`, or `None` for
@@ -383,29 +400,31 @@ impl Snapshot {
     /// serving must be opted into because it doubles the writer's
     /// maintenance work.
     pub fn match_pattern(&self, query: &Pattern) -> Option<MatchRelation> {
-        let pc = self
-            .pattern
+        self.pattern
             .as_ref()
-            .expect("pattern serving not enabled; set StoreConfig::serve_patterns");
-        let on_gr = bounded_match(&pc.graph, query)?;
-        Some(pc.post_process(&on_gr))
+            .expect("pattern serving not enabled; set StoreConfig::serve_patterns")
+            .answer(query)
     }
 
-    /// Approximate heap footprint of the snapshot in bytes (CSR quotient +
-    /// node index + cyclic flags + optional 2-hop index; the pattern view is
-    /// excluded, matching what the reachability-side figures compare).
+    /// Approximate heap footprint of the snapshot in bytes: CSR quotient +
+    /// node index + cyclic flags + optional 2-hop index + optional pattern
+    /// view. Every structure follows the same capacity-based convention
+    /// ([`CsrGraph::heap_bytes`], [`TwoHopIndex::heap_bytes`],
+    /// [`PatternView::heap_bytes`]), so a pattern-serving snapshot reports
+    /// strictly more bytes than the same snapshot without the pattern side.
     pub fn heap_bytes(&self) -> usize {
         self.gr.heap_bytes()
             + self.class_of.capacity() * std::mem::size_of::<u32>()
             + self.cyclic.capacity() * std::mem::size_of::<bool>()
             + self.two_hop.as_deref().map_or(0, TwoHopIndex::heap_bytes)
+            + self.pattern.as_deref().map_or(0, PatternView::heap_bytes)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qpgc::maintenance::MaintainedReachability;
+    use qpgc::maintenance::{MaintainedPattern, MaintainedReachability};
     use qpgc_graph::{LabeledGraph, UpdateBatch};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -470,7 +489,36 @@ mod tests {
         let snap = build(&LabeledGraph::new(), &StoreConfig::default());
         assert_eq!(snap.class_count(), 0);
         assert_eq!(snap.node_count(), 0);
-        assert!(snap.heap_bytes() > 0 || snap.heap_bytes() == 0); // no panic
+        // Serving the pattern side always costs measurable extra heap —
+        // even on the empty graph, where the view still carries its CSR
+        // offset arrays.
+        let view = Arc::new(PatternView::build(
+            &MaintainedPattern::new(LabeledGraph::new()).stable_quotient(),
+        ));
+        let with_pattern = Snapshot::republish(&snap, 0, Some(view));
+        assert!(with_pattern.heap_bytes() > snap.heap_bytes());
+    }
+
+    /// A pattern-serving snapshot of a real graph reports strictly more
+    /// bytes than the same snapshot without the pattern side, and the
+    /// difference is exactly the view's own footprint.
+    #[test]
+    fn heap_bytes_includes_the_pattern_side() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        let c = g.add_node_with_label("B");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        let plain = build(&g, &StoreConfig::default());
+        let view = Arc::new(PatternView::build(
+            &MaintainedPattern::new(g).stable_quotient(),
+        ));
+        let view_bytes = view.heap_bytes();
+        assert!(view_bytes > 0);
+        let serving = Snapshot::republish(&plain, 0, Some(view));
+        assert!(serving.heap_bytes() > plain.heap_bytes());
+        assert_eq!(serving.heap_bytes(), plain.heap_bytes() + view_bytes);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 use std::sync::{Arc, Mutex, RwLock};
 
 use qpgc::maintenance::{MaintainedPattern, MaintainedReachability};
+use qpgc_graph::update::PartitionDelta;
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
 use qpgc_pattern::incremental::IncPatternStats;
+use qpgc_pattern::view::PatternView;
 use qpgc_reach::incremental::IncStats;
 use qpgc_reach::two_hop::TwoHopConfig;
 
@@ -22,15 +24,25 @@ pub struct StoreConfig {
     pub two_hop: Option<TwoHopConfig>,
     /// Also maintain and serve the pattern-preserving compression. Off by
     /// default: it duplicates the data graph into a second maintenance
-    /// façade and adds a bisimulation re-quotient to every batch.
+    /// façade and adds incremental bisimulation maintenance to every batch.
+    /// Publication of the pattern side is delta-aware (see
+    /// [`StoreConfig::damage_threshold`]): a batch that leaves the
+    /// bisimulation partition untouched shares the previous snapshot's
+    /// [`PatternView`] pointer-wise instead of re-materializing it.
     pub serve_patterns: bool,
-    /// Damage threshold of delta-patched snapshot publication. A batch
-    /// whose [`PartitionDelta`] churns more than this fraction of the live
-    /// classes falls back to a from-scratch [`Snapshot`] build; below it the
-    /// previous snapshot is patched (quotient CSR rows, node index, scoped
-    /// 2-hop re-labeling — the same fraction also gates the 2-hop patch
-    /// against its dirty-landmark count). `0.0` disables patching entirely,
-    /// `f64::INFINITY` forces it. Default: `0.25`.
+    /// Damage threshold of delta-patched snapshot publication, with
+    /// **at-most** semantics at the boundary: a batch whose
+    /// [`PartitionDelta`] churns *strictly more* than this fraction of the
+    /// live classes falls back to a from-scratch build, while churn at or
+    /// below the threshold (equality included) patches the previous
+    /// snapshot (quotient CSR rows, node index, scoped 2-hop re-labeling —
+    /// the same fraction also gates the 2-hop patch against its
+    /// dirty-landmark count). When patterns are served, the same threshold
+    /// independently gates the pattern side, with its churn measured
+    /// against the live bisimulation classes: heavy pattern churn rebuilds
+    /// only the [`PatternView`] without forcing a reachability rebuild, and
+    /// vice versa. `0.0` disables patching entirely (any non-zero churn
+    /// exceeds it), `f64::INFINITY` forces patching. Default: `0.25`.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     pub damage_threshold: f64,
@@ -50,25 +62,65 @@ impl Default for StoreConfig {
 /// How one [`CompressedStore::apply`] call published its snapshot.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ApplyPath {
-    /// The batch changed no equivalence class; the previous snapshot was
-    /// republished under the new version (pattern side refreshed when
-    /// served).
+    /// The batch changed no equivalence class on any served side; the
+    /// previous snapshot was republished under the new version with every
+    /// structure — pattern view included — `Arc`-shared.
     Republished,
     /// The previous snapshot was delta-patched. `two_hop_patched` tells
     /// whether the 2-hop index was scoped-re-labeled too (`false`: rebuilt
-    /// in full past its own damage gate, or absent).
+    /// in full past its own damage gate, or absent). A reachability-quiet
+    /// batch whose bisimulation delta was row-patched reports this path
+    /// with `churn == 0.0` (the reachability structures were carried over
+    /// verbatim) and the pattern fields say what happened on that side.
     Patched {
-        /// Fraction of live classes churned by the batch.
+        /// Fraction of live reachability classes churned by the batch.
         churn: f64,
         /// Whether the 2-hop index took the scoped re-labeling path.
         two_hop_patched: bool,
+        /// Pattern-side churn (churned classes / live bisimulation
+        /// classes) when patterns are served and the batch changed the
+        /// bisimulation partition; `None` when the pattern view was shared
+        /// untouched or patterns are not served.
+        pattern_churn: Option<f64>,
+        /// Whether the pattern view was row-patched from its predecessor
+        /// (`false`: shared pointer-wise, rebuilt past the damage gate, or
+        /// not served).
+        pattern_patched: bool,
     },
-    /// The churn exceeded [`StoreConfig::damage_threshold`]; the snapshot
-    /// was rebuilt from scratch.
+    /// Something was rebuilt from scratch: the reachability side when its
+    /// churn exceeded [`StoreConfig::damage_threshold`], or — on a
+    /// reachability-quiet batch, reported with `churn == 0.0` — only the
+    /// pattern view, past the same gate on the bisimulation side. The two
+    /// sides are gated independently (a rebuild on one never forces the
+    /// other); the pattern fields mirror [`ApplyPath::Patched`]'s.
     Rebuilt {
-        /// Fraction of live classes churned by the batch.
+        /// Fraction of live reachability classes churned by the batch.
         churn: f64,
+        /// Pattern-side churn when patterns are served and the batch
+        /// changed the bisimulation partition; `None` when the pattern
+        /// view was shared untouched or patterns are not served.
+        pattern_churn: Option<f64>,
+        /// Whether the pattern view was row-patched from its predecessor.
+        pattern_patched: bool,
     },
+}
+
+impl ApplyPath {
+    /// Whether this publication row-patched the pattern view from its
+    /// predecessor (on either the patched or the rebuilt reachability
+    /// path). `false` when the view was shared pointer-wise, rebuilt past
+    /// the damage gate, or patterns are not served.
+    pub fn pattern_patched(&self) -> bool {
+        match *self {
+            ApplyPath::Republished => false,
+            ApplyPath::Patched {
+                pattern_patched, ..
+            }
+            | ApplyPath::Rebuilt {
+                pattern_patched, ..
+            } => pattern_patched,
+        }
+    }
 }
 
 /// What one [`CompressedStore::apply`] call did.
@@ -129,7 +181,9 @@ impl CompressedStore {
         let snapshot = Snapshot::build(
             0,
             &reach.stable_quotient(),
-            pattern.as_ref().map(MaintainedPattern::compression),
+            pattern
+                .as_ref()
+                .map(|p| Arc::new(PatternView::build(&p.stable_quotient()))),
             &config,
         );
         CompressedStore {
@@ -173,43 +227,81 @@ impl CompressedStore {
     /// publishes a fresh snapshot. Concurrent callers are serialized;
     /// readers are never blocked (except for the pointer swap itself).
     ///
-    /// Publication is **delta-aware**: when the batch's [`PartitionDelta`]
-    /// churns at most [`StoreConfig::damage_threshold`] of the live
-    /// classes, the new snapshot is derived from the previous one
-    /// ([`Snapshot::apply_delta`] — patched CSR rows, patched node index,
-    /// scoped 2-hop re-labeling); larger deltas rebuild from scratch, and
-    /// no-op deltas republish. [`ApplyReport::path`] records the decision.
+    /// Publication is **delta-aware on both sides**. Reachability: when the
+    /// batch's [`PartitionDelta`] churns at most
+    /// [`StoreConfig::damage_threshold`] of the live classes, the new
+    /// snapshot is derived from the previous one ([`Snapshot::apply_delta`]
+    /// — patched CSR rows, patched node index, scoped 2-hop re-labeling);
+    /// larger deltas rebuild from scratch, and no-op deltas republish.
+    /// Pattern (when served): the bisimulation delta is gated by the same
+    /// threshold against the live bisimulation classes — an empty delta
+    /// shares the previous [`PatternView`] pointer-wise, churn at most the
+    /// threshold row-patches it ([`PatternView::apply_delta`]), and heavier
+    /// churn rebuilds only the view, independently of what the reachability
+    /// side did. [`ApplyReport::path`] records both decisions.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     pub fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
         let mut w = self.writer.lock().expect("writer lock poisoned");
         let (reach_stats, delta) = w.reach.apply_with_delta(batch);
-        let pattern_stats = w.pattern.as_mut().map(|p| p.apply(batch));
+        let pattern_result = w.pattern.as_mut().map(|p| p.apply_with_delta(batch));
+        let pattern_stats = pattern_result.as_ref().map(|&(stats, _)| stats);
         w.version += 1;
-        let pattern = w.pattern.as_ref().map(MaintainedPattern::compression);
         let publish_start = std::time::Instant::now();
         let prev = self.load();
+        let (pattern_view, pattern_churn, pattern_patched) = match (&w.pattern, &pattern_result) {
+            (Some(p), Some((_, pdelta))) => self.derive_pattern_view(&prev, p, pdelta),
+            _ => (None, None, false),
+        };
         let (snapshot, path) = if delta.is_empty() {
-            (
-                Snapshot::republish(&prev, w.version, pattern),
-                ApplyPath::Republished,
-            )
+            let snapshot = Snapshot::republish(&prev, w.version, pattern_view);
+            // Name the path after what actually happened to the pattern
+            // view: row-patched → Patched, rebuilt past the gate → Rebuilt
+            // (both with reachability churn 0.0 — that side was carried
+            // over verbatim), untouched → Republished.
+            let path = match pattern_churn {
+                None => ApplyPath::Republished,
+                Some(_) if pattern_patched => ApplyPath::Patched {
+                    churn: 0.0,
+                    two_hop_patched: false,
+                    pattern_churn,
+                    pattern_patched,
+                },
+                Some(_) => ApplyPath::Rebuilt {
+                    churn: 0.0,
+                    pattern_churn,
+                    pattern_patched,
+                },
+            };
+            (snapshot, path)
         } else {
             let sq = w.reach.stable_quotient();
             let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
             if churn > self.config.damage_threshold {
                 (
-                    Snapshot::build(w.version, &sq, pattern, &self.config),
-                    ApplyPath::Rebuilt { churn },
+                    Snapshot::build(w.version, &sq, pattern_view, &self.config),
+                    ApplyPath::Rebuilt {
+                        churn,
+                        pattern_churn,
+                        pattern_patched,
+                    },
                 )
             } else {
-                let (snapshot, two_hop_patched) =
-                    Snapshot::apply_delta(&prev, w.version, &sq, &delta, pattern, &self.config);
+                let (snapshot, two_hop_patched) = Snapshot::apply_delta(
+                    &prev,
+                    w.version,
+                    &sq,
+                    &delta,
+                    pattern_view,
+                    &self.config,
+                );
                 (
                     snapshot,
                     ApplyPath::Patched {
                         churn,
                         two_hop_patched,
+                        pattern_churn,
+                        pattern_patched,
                     },
                 )
             }
@@ -221,6 +313,58 @@ impl CompressedStore {
             pattern: pattern_stats,
             path,
             publish_ms: publish_start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Derives the pattern view the next snapshot will carry: shared
+    /// pointer-wise when the batch's bisimulation [`PartitionDelta`] is
+    /// empty, row-patched from the previous snapshot's view when its churn
+    /// is at most [`StoreConfig::damage_threshold`] of the live
+    /// bisimulation classes, rebuilt from the maintainer's stable-id export
+    /// otherwise. Returns the view, the churn (`None` for the shared path),
+    /// and whether the patch path was taken.
+    ///
+    /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
+    fn derive_pattern_view(
+        &self,
+        prev: &Snapshot,
+        p: &MaintainedPattern,
+        pdelta: &PartitionDelta,
+    ) -> (Option<Arc<PatternView>>, Option<f64>, bool) {
+        if pdelta.is_empty() {
+            if let Some(view) = prev.pattern_arc() {
+                return (Some(view), None, false);
+            }
+        }
+        match prev.pattern_view() {
+            Some(view) => {
+                // Post-batch live-class count derived from the previous
+                // view, so the gate decision costs no maintainer export —
+                // and the patch path then takes the member-less export
+                // (churned members travel in the delta's births, untouched
+                // rows carry over from the previous view).
+                let live = view.class_count() + pdelta.added.len() - pdelta.removed.len();
+                let churn = pdelta.churned() as f64 / live.max(1) as f64;
+                if churn <= self.config.damage_threshold {
+                    let spq = p.stable_quotient_without_members();
+                    (
+                        Some(Arc::new(view.apply_delta(pdelta, &spq))),
+                        Some(churn),
+                        true,
+                    )
+                } else {
+                    (
+                        Some(Arc::new(PatternView::build(&p.stable_quotient()))),
+                        Some(churn),
+                        false,
+                    )
+                }
+            }
+            None => {
+                let spq = p.stable_quotient();
+                let churn = pdelta.churned() as f64 / spq.class_count().max(1) as f64;
+                (Some(Arc::new(PatternView::build(&spq))), Some(churn), false)
+            }
         }
     }
 }
@@ -304,6 +448,69 @@ mod tests {
         let store = CompressedStore::new(sample(), StoreConfig::default());
         let q = Pattern::new();
         let _ = store.load().match_pattern(&q);
+    }
+
+    /// A batch that is quiet on both sides republishes with the pattern
+    /// view `Arc`-shared (same allocation, no clone); a batch that churns
+    /// the bisimulation partition below the gate row-patches it and reports
+    /// the pattern fields in [`ApplyPath::Patched`].
+    #[test]
+    fn quiet_batches_share_the_pattern_view_pointerwise() {
+        let store = CompressedStore::new(
+            sample(),
+            StoreConfig {
+                serve_patterns: true,
+                damage_threshold: f64::INFINITY,
+                ..StoreConfig::default()
+            },
+        );
+        let before = store.load();
+
+        // Inserting an existing edge normalizes away on both sides.
+        let mut noop = UpdateBatch::new();
+        noop.insert(NodeId(0), NodeId(1));
+        let report = store.apply(&noop);
+        assert_eq!(report.path, ApplyPath::Republished);
+        let after = store.load();
+        assert_eq!(after.version(), 1);
+        assert!(std::ptr::eq(
+            before.pattern_view().unwrap(),
+            after.pattern_view().unwrap()
+        ));
+
+        // A real bisimulation change below the (infinite) gate patches.
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(1), NodeId(3));
+        let report = store.apply(&batch);
+        match report.path {
+            ApplyPath::Patched {
+                pattern_churn,
+                pattern_patched,
+                ..
+            } => {
+                assert!(pattern_churn.is_some(), "pattern delta was not empty");
+                assert!(pattern_patched, "below the gate the view must patch");
+            }
+            other => panic!("expected a patched publication, got {other:?}"),
+        }
+        assert!(!std::ptr::eq(
+            after.pattern_view().unwrap(),
+            store.load().pattern_view().unwrap()
+        ));
+    }
+
+    /// Pattern-serving snapshots account for the view in `heap_bytes`.
+    #[test]
+    fn pattern_serving_costs_measurable_heap() {
+        let plain = CompressedStore::new(sample(), StoreConfig::default());
+        let serving = CompressedStore::new(
+            sample(),
+            StoreConfig {
+                serve_patterns: true,
+                ..StoreConfig::default()
+            },
+        );
+        assert!(serving.load().heap_bytes() > plain.load().heap_bytes());
     }
 
     #[test]

@@ -17,9 +17,19 @@
 //! boundary sweep where some batches patch and others fall back to a full
 //! rebuild — the boundary itself is asserted to be exercised from both
 //! sides.
+//!
+//! Pattern-serving streams run the same discipline one query class up: the
+//! delta store's row-patched [`PatternView`]s must be bit-identical
+//! (quotient edges, row labels, node index) to the views the rebuild-only
+//! store constructs from scratch, and every `match_pattern` answer must
+//! equal direct `bounded_match` evaluation on the updated data graph.
+//!
+//! [`PatternView`]: qpgc_pattern::view::PatternView
 
 use qpgc_graph::traversal::bfs_reachable;
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use qpgc_pattern::bounded::bounded_match;
+use qpgc_pattern::pattern::{assert_same_answer, Pattern};
 use qpgc_serve::{ApplyPath, CompressedStore, StoreConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,7 +202,7 @@ fn damage_threshold_boundary_exercises_both_paths() {
                     );
                     saw_patched = true;
                 }
-                ApplyPath::Rebuilt { churn } => {
+                ApplyPath::Rebuilt { churn, .. } => {
                     assert!(
                         churn > THRESHOLD,
                         "rebuilt below the threshold: churn {churn}"
@@ -219,6 +229,190 @@ fn zero_threshold_always_rebuilds() {
             );
         }
     }
+}
+
+fn random_labeled_graph(rng: &mut StdRng, n_max: usize) -> LabeledGraph {
+    let alphabet = ["A", "B", "C"];
+    let n = rng.gen_range(3..n_max);
+    let m = rng.gen_range(0..n * 3);
+    let mut g = LabeledGraph::new();
+    for _ in 0..n {
+        g.add_node_with_label(alphabet[rng.gen_range(0..alphabet.len())]);
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        g.add_edge(NodeId(u), NodeId(v));
+    }
+    g
+}
+
+/// A small query workload over the test alphabet: bounded, unbounded, and a
+/// single-node pattern (the last one would expose stale labels on retired
+/// quotient rows).
+fn pattern_queries() -> Vec<Pattern> {
+    let mut queries = Vec::new();
+    let mut p = Pattern::new();
+    let a = p.add_node("A");
+    let b = p.add_node("B");
+    p.add_edge(a, b, 1);
+    queries.push(p);
+    let mut p = Pattern::new();
+    let a = p.add_node("A");
+    let c = p.add_node("C");
+    p.add_edge(a, c, 2);
+    queries.push(p);
+    let mut p = Pattern::new();
+    let b = p.add_node("B");
+    let a = p.add_node("A");
+    p.add_edge_unbounded(b, a);
+    queries.push(p);
+    let mut p = Pattern::new();
+    p.add_node("C");
+    queries.push(p);
+    queries
+}
+
+/// Runs one labeled stream through a pattern-serving delta store and a
+/// pattern-serving rebuild-everything store, asserting at every version
+/// that the patched pattern view is bit-identical to the rebuilt one and
+/// that every pattern answer matches direct evaluation on the updated data
+/// graph. Returns how many publications row-patched the pattern view.
+fn run_pattern_stream(seed: u64, insert_bias: f64, damage_threshold: f64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = random_labeled_graph(&mut rng, 18);
+    let config = |threshold: f64| StoreConfig {
+        serve_patterns: true,
+        damage_threshold: threshold,
+        ..StoreConfig::default()
+    };
+    let delta_store = CompressedStore::new(g.clone(), config(damage_threshold));
+    let full_store = CompressedStore::new(g.clone(), config(0.0));
+    let queries = pattern_queries();
+    let mut pattern_patched = 0usize;
+    for step in 0..4 {
+        let count = rng.gen_range(1..5);
+        let batch = random_batch(&mut rng, g.node_count(), count, insert_bias, false);
+        let report = delta_store.apply(&batch);
+        full_store.apply(&batch);
+        batch.apply_to(&mut g);
+        if report.path.pattern_patched() {
+            pattern_patched += 1;
+        }
+
+        let patched = delta_store.load();
+        let rebuilt = full_store.load();
+        let pv_d = patched.pattern_view().expect("pattern serving enabled");
+        let pv_f = rebuilt.pattern_view().expect("pattern serving enabled");
+        // Structural: both stores evolved the same stable bisimulation
+        // class ids, so the patched quotient CSR must equal the rebuilt one
+        // bit for bit — edges, row labels, and the node index.
+        assert_eq!(
+            pv_d.graph().edges().collect::<Vec<_>>(),
+            pv_f.graph().edges().collect::<Vec<_>>(),
+            "seed {seed} step {step}: patched pattern quotient diverged"
+        );
+        assert_eq!(
+            pv_d.graph().labels(),
+            pv_f.graph().labels(),
+            "seed {seed} step {step}: patched pattern row labels diverged"
+        );
+        assert_eq!(pv_d.class_count(), pv_f.class_count());
+        for v in g.nodes() {
+            assert_eq!(
+                pv_d.class_of(v),
+                pv_f.class_of(v),
+                "seed {seed} step {step}: node index diverged at {v}"
+            );
+        }
+
+        // Answers: every query against direct evaluation on the updated
+        // data graph, full match relations compared (not just booleans).
+        for (qi, q) in queries.iter().enumerate() {
+            assert_same_answer(
+                &bounded_match(&g, q),
+                &patched.match_pattern(q),
+                &format!("seed {seed} step {step} query {qi}"),
+            );
+        }
+    }
+    pattern_patched
+}
+
+/// 45 labeled streams (3 update mixes × 15 seeds) with pattern serving on
+/// and patching forced: patched pattern views must be bit-identical to
+/// from-scratch rebuilds and `bounded_match`-exact at every version.
+#[test]
+fn pattern_streams_match_full_rebuilds_and_oracle() {
+    let mut pattern_patched = 0usize;
+    for (m, &bias) in [0.8, 0.2, 0.5].iter().enumerate() {
+        for i in 0..15u64 {
+            let seed = 5000 + (m as u64) * 100 + i;
+            pattern_patched += run_pattern_stream(seed, bias, f64::INFINITY);
+        }
+    }
+    assert!(
+        pattern_patched > 60,
+        "only {pattern_patched} pattern-patched publications across the suite"
+    );
+}
+
+/// Pattern streams with the gate at zero: the view is rebuilt (or shared on
+/// quiet batches) every time, and answers still hold — the rebuild-side
+/// control of the differential above.
+#[test]
+fn pattern_streams_zero_threshold_never_patch() {
+    for i in 0..8u64 {
+        assert_eq!(run_pattern_stream(6000 + i, 0.5, 0.0), 0);
+    }
+}
+
+/// The damage gate has **at-most** semantics: churn exactly equal to the
+/// threshold must still patch; only strictly greater churn rebuilds. Pinned
+/// by replaying the same batch against a store whose threshold is set to
+/// the observed churn (must patch) and to a hair below it (must rebuild).
+#[test]
+fn damage_threshold_boundary_at_equality_patches() {
+    let mut pinned = 0usize;
+    for case in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(900 + case);
+        let g = random_labeled_graph(&mut rng, 18);
+        let batch = random_batch(&mut rng, g.node_count(), 3, 0.5, false);
+        let probe = CompressedStore::new(
+            g.clone(),
+            StoreConfig {
+                damage_threshold: f64::INFINITY,
+                ..StoreConfig::default()
+            },
+        );
+        let ApplyPath::Patched { churn, .. } = probe.apply(&batch).path else {
+            continue; // quiet batch; nothing to pin
+        };
+        let at_equality = CompressedStore::new(
+            g.clone(),
+            StoreConfig {
+                damage_threshold: churn,
+                ..StoreConfig::default()
+            },
+        );
+        assert!(
+            matches!(at_equality.apply(&batch).path, ApplyPath::Patched { .. }),
+            "case {case}: churn == threshold ({churn}) must patch, not rebuild"
+        );
+        let just_below = CompressedStore::new(
+            g,
+            StoreConfig {
+                damage_threshold: churn * 0.999,
+                ..StoreConfig::default()
+            },
+        );
+        assert!(
+            matches!(just_below.apply(&batch).path, ApplyPath::Rebuilt { .. }),
+            "case {case}: churn above the threshold must rebuild"
+        );
+        pinned += 1;
+    }
+    assert!(pinned >= 3, "only {pinned} boundary cases exercised");
 }
 
 /// Long stream: 12 consecutive patched publications on one store, so
