@@ -1,8 +1,8 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_5.json
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_4.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_6.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_5.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
@@ -16,7 +16,7 @@
 use qpgc_bench::perf::{compare_report, perf_snapshot};
 
 fn main() {
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut compare_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,6 +94,25 @@ fn main() {
             row.patched_batches,
             row.batches,
             row.pattern_patched_batches
+        );
+    }
+    for row in &snap.store_sharding.throughput {
+        eprintln!(
+            "  store_sharding {} (1/{}) @ {} shard(s): apply {:.3} ms ({:.0} upd/s), publish {:.3} ms, {} cross edges, {} boundary vertices",
+            snap.store_sharding.dataset,
+            snap.store_sharding.scale,
+            row.shard_count,
+            row.apply_ms,
+            row.updates_per_sec,
+            row.publish_ms,
+            row.cross_edges,
+            row.boundary_vertices
+        );
+    }
+    for row in &snap.store_sharding.latency {
+        eprintln!(
+            "  store_sharding latency @ {} shard(s), cross_shard={}: {} queries in {:.3} ms ({:.0} qps)",
+            row.shard_count, row.cross_shard, row.queries, row.elapsed_ms, row.qps
         );
     }
 

@@ -57,12 +57,29 @@
 //! stores' final pattern answers are differentially checked alongside the
 //! reachability sample.
 //!
+//! Since PR 6 (`BENCH_6.json`, **schema v5** — a superset of v4) a
+//! `store_sharding` section tracks the multi-writer router:
+//!
+//! * `throughput` rows apply the same pre-generated cone-local update
+//!   stream through [`qpgc_serve::ShardedStore`]s of 1, 2, and 4 shards,
+//!   recording per `shard_count` the initial `cross_edges` under that
+//!   partition, the final cut's boundary-vertex count, total apply
+//!   wall-clock, `updates_per_sec`, and the summed
+//!   `ApplyReport::publish_ms` (slowest concurrent shard publication plus
+//!   the watermark bump). Every final cut is differentially checked
+//!   against a single [`CompressedStore`] that replayed the same stream.
+//! * `latency` rows split a query sample on the 4-shard store by whether
+//!   the endpoints share a shard (`cross_shard`): intra-shard queries are
+//!   answered by one shard snapshot, cross-shard queries compose through
+//!   the boundary summary — the overhead of composition is the recorded
+//!   number.
+//!
 //! Produce a snapshot with:
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_5.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_6.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json   # CI smoke
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_4.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_5.json
 //! ```
 //!
 //! `--compare` prints a per-phase regression table against a previously
@@ -75,14 +92,15 @@ use std::time::Instant;
 
 use qpgc_generators::datasets::{dataset, pattern_dataset, FIG12D_DATASETS, REACHABILITY_DATASETS};
 use qpgc_generators::updates::local_batch;
+use qpgc_graph::partition::boundary_edges;
 use qpgc_graph::traversal::bfs_reachable;
-use qpgc_graph::UpdateBatch;
+use qpgc_graph::{NodePartition, UpdateBatch};
 use qpgc_pattern::bisim::{bisimulation_partition_baseline, bisimulation_partition_csr};
 use qpgc_pattern::compress::compress_b_csr;
 use qpgc_pattern::pattern::Pattern;
 use qpgc_reach::compress::{compress_r, compress_r_csr};
 use qpgc_reach::two_hop::{CoverageEstimate, TwoHopConfig, TwoHopIndex};
-use qpgc_serve::{bulk_reachable, ApplyPath, CompressedStore, StoreConfig};
+use qpgc_serve::{bulk_reachable, ApplyPath, CompressedStore, ShardedStore, StoreConfig};
 
 use crate::harness::random_pairs;
 
@@ -170,6 +188,165 @@ pub struct SnapshotIncRow {
     pub delta_heap: usize,
 }
 
+/// Multi-writer apply throughput for one shard count (the `store_sharding`
+/// experiment).
+#[derive(Clone, Debug)]
+pub struct ShardingThroughputRow {
+    /// Number of hash-partitioned shards the router ran.
+    pub shard_count: usize,
+    /// Boundary edges of the initial graph under that partition.
+    pub cross_edges: usize,
+    /// Boundary vertices (distinct cross-edge endpoints) of the final cut.
+    pub boundary_vertices: usize,
+    /// Total `ShardedStore::apply` wall-clock over the stream (slicing,
+    /// concurrent shard maintenance, boundary rebuild, cut swap).
+    pub apply_ms: f64,
+    /// Updates applied per second at that wall-clock.
+    pub updates_per_sec: f64,
+    /// Summed `ApplyReport::publish_ms` — slowest concurrent shard
+    /// publication plus the watermark bump, per batch.
+    pub publish_ms: f64,
+}
+
+/// Query latency on the 4-shard store, split by whether the endpoints
+/// share a shard (the `store_sharding` experiment's `latency` rows).
+#[derive(Clone, Debug)]
+pub struct ShardingLatencyRow {
+    /// Number of shards the answering store ran.
+    pub shard_count: usize,
+    /// `true`: endpoints in different shards, so every positive answer
+    /// composed through the boundary summary.
+    pub cross_shard: bool,
+    /// Queries in this row's batch.
+    pub queries: usize,
+    /// Best-of-3 single-threaded wall-clock for the whole batch.
+    pub elapsed_ms: f64,
+    /// Queries per second at that wall-clock.
+    pub qps: f64,
+}
+
+/// The `store_sharding` section: one update stream, three shard counts,
+/// plus the intra/cross latency split (schema v5).
+#[derive(Clone, Debug, Default)]
+pub struct StoreShardingSection {
+    /// Dataset emulation the stream ran over.
+    pub dataset: String,
+    /// Scale divisor of the emulation.
+    pub scale: usize,
+    /// Node count of the data graph.
+    pub nodes: usize,
+    /// Edge count of the data graph.
+    pub edges: usize,
+    /// Number of update batches in the stream.
+    pub batches: usize,
+    /// Updates per batch.
+    pub batch_size: usize,
+    /// Apply-throughput rows, ascending shard count (1, 2, 4).
+    pub throughput: Vec<ShardingThroughputRow>,
+    /// Latency rows on the largest shard count: intra-shard then
+    /// cross-shard.
+    pub latency: Vec<ShardingLatencyRow>,
+}
+
+/// Applies the same cone-local stream through sharded stores of 1, 2, and
+/// 4 shards, differentially checking every final cut against a single
+/// store that replayed the identical stream, and measures the intra- vs
+/// cross-shard query latency split on the 4-shard cut.
+fn store_sharding_section(scale: usize) -> StoreShardingSection {
+    let name = "citHepTh";
+    let ds_scale = scale.max(40);
+    let g = dataset(name, ds_scale, 0).expect("known dataset");
+    let nodes = g.node_count();
+    let edges = g.edge_count();
+    let batches = 6usize;
+    let batch_size = (edges / 500).max(4);
+
+    // One pre-generated stream, replayed identically by every store.
+    let mut stream: Vec<UpdateBatch> = Vec::with_capacity(batches);
+    {
+        let mut evolving = g.clone();
+        for i in 0..batches {
+            let batch = local_batch(&evolving, batch_size, 8, 0xB0B + i as u64);
+            batch.apply_to(&mut evolving);
+            stream.push(batch);
+        }
+    }
+
+    // The single-store oracle for the differential checks.
+    let single = CompressedStore::new(g.clone(), StoreConfig::default());
+    for batch in &stream {
+        single.apply(batch);
+    }
+    let single_cut = single.load();
+    let sample = random_pairs(&g, 2_000, 17);
+
+    let mut throughput: Vec<ShardingThroughputRow> = Vec::new();
+    let mut latency: Vec<ShardingLatencyRow> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let part = NodePartition::new(shards);
+        let cross_edges = boundary_edges(&g, &part).len();
+        let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build());
+        let mut publish_ms = 0.0;
+        let mut updates = 0usize;
+        let t = Instant::now();
+        for batch in &stream {
+            let report = store.apply(batch);
+            publish_ms += report.publish_ms;
+            updates += batch.len();
+        }
+        let apply_ms = ms(t);
+        let cut = store.load();
+        for &(u, w) in &sample {
+            assert_eq!(
+                cut.reachable(u, w),
+                single_cut.reachable(u, w),
+                "{name}: {shards}-shard cut disagrees with the single store on ({u}, {w})"
+            );
+        }
+        throughput.push(ShardingThroughputRow {
+            shard_count: shards,
+            cross_edges,
+            boundary_vertices: cut.boundary().vertex_count(),
+            apply_ms,
+            updates_per_sec: updates as f64 / (apply_ms / 1e3).max(1e-9),
+            publish_ms,
+        });
+
+        if shards == 4 {
+            let (cross, intra): (Vec<_>, Vec<_>) = sample
+                .iter()
+                .copied()
+                .partition(|&(u, w)| part.is_boundary(u, w));
+            for (cross_shard, queries) in [(false, intra), (true, cross)] {
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    let _ = bulk_reachable(&*cut, &queries, 1);
+                    best = best.min(ms(t));
+                }
+                latency.push(ShardingLatencyRow {
+                    shard_count: shards,
+                    cross_shard,
+                    queries: queries.len(),
+                    elapsed_ms: best,
+                    qps: queries.len() as f64 / (best / 1e3).max(1e-9),
+                });
+            }
+        }
+    }
+
+    StoreShardingSection {
+        dataset: name.to_string(),
+        scale: ds_scale,
+        nodes,
+        edges,
+        batches,
+        batch_size,
+        throughput,
+        latency,
+    }
+}
+
 /// One perf snapshot: per-phase wall-clock on the citHepTh-scale graph plus
 /// the per-dataset heap comparison.
 #[derive(Clone, Debug)]
@@ -211,6 +388,8 @@ pub struct PerfSnapshot {
     pub two_hop_entries: Vec<TwoHopEntriesRow>,
     /// Full-rebuild vs. delta-patch publication rows (schema v3).
     pub snapshot_incremental: Vec<SnapshotIncRow>,
+    /// Sharded-store throughput and latency rows (schema v5).
+    pub store_sharding: StoreShardingSection,
 }
 
 /// Drives a seeded **cone-local** update stream (each batch 0.1 % of the
@@ -258,14 +437,17 @@ fn snapshot_incremental_row(
         }
     }
 
-    let config = |damage_threshold: f64| StoreConfig {
-        two_hop: two_hop.then_some(TwoHopConfig {
-            coverage: CoverageEstimate::Adaptive { seed: 7 },
-            parallel: false,
-        }),
-        serve_patterns,
-        damage_threshold,
-        ..StoreConfig::default()
+    let config = |damage_threshold: f64| {
+        let mut builder = StoreConfig::builder()
+            .patterns(serve_patterns)
+            .damage_threshold(damage_threshold);
+        if two_hop {
+            builder = builder.two_hop(TwoHopConfig {
+                coverage: CoverageEstimate::Adaptive { seed: 7 },
+                parallel: false,
+            });
+        }
+        builder.build()
     };
 
     let full_store = CompressedStore::new(g.clone(), config(0.0));
@@ -435,16 +617,15 @@ pub fn perf_snapshot(scale: usize) -> PerfSnapshot {
     let pairs = random_pairs(&serve_g, serve_queries, 11);
     let store = CompressedStore::new(
         serve_g,
-        StoreConfig {
-            two_hop: Some(TwoHopConfig {
+        StoreConfig::builder()
+            .two_hop(TwoHopConfig {
                 coverage: CoverageEstimate::Sampled {
                     samples: 2048,
                     seed: 7,
                 },
                 parallel: false,
-            }),
-            ..StoreConfig::default()
-        },
+            })
+            .build(),
     );
     let snap = store.load();
     // All four thread counts are always measured (spawning works on any
@@ -513,6 +694,9 @@ pub fn perf_snapshot(scale: usize) -> PerfSnapshot {
         snapshot_incremental_row("Internet", scale.max(8), true, true, pattern_gate, 6),
     ];
 
+    // Multi-writer scaling of the sharded router (schema v5).
+    let store_sharding = store_sharding_section(scale);
+
     PerfSnapshot {
         scale,
         dataset: "citHepTh".into(),
@@ -531,6 +715,7 @@ pub fn perf_snapshot(scale: usize) -> PerfSnapshot {
         two_hop_scale,
         two_hop_entries,
         snapshot_incremental,
+        store_sharding,
     }
 }
 
@@ -541,7 +726,7 @@ impl PerfSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"qpgc-perf-snapshot-v4\",\n");
+        out.push_str("  \"schema\": \"qpgc-perf-snapshot-v5\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
         out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
@@ -627,7 +812,39 @@ impl PerfSnapshot {
                 row.delta_heap,
             ));
         }
-        out.push_str("  ]\n");
+        out.push_str("  ],\n");
+        out.push_str("  \"store_sharding\": {\n");
+        let s = &self.store_sharding;
+        out.push_str(&format!("    \"dataset\": \"{}\",\n", s.dataset));
+        out.push_str(&format!("    \"scale\": {},\n", s.scale));
+        out.push_str(&format!("    \"nodes\": {},\n", s.nodes));
+        out.push_str(&format!("    \"edges\": {},\n", s.edges));
+        out.push_str(&format!("    \"batches\": {},\n", s.batches));
+        out.push_str(&format!("    \"batch_size\": {},\n", s.batch_size));
+        out.push_str("    \"throughput\": [\n");
+        for (i, row) in s.throughput.iter().enumerate() {
+            let comma = if i + 1 == s.throughput.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      {{\"shard_count\": {}, \"cross_edges\": {}, \"boundary_vertices\": {}, \"apply_ms\": {:.3}, \"updates_per_sec\": {:.0}, \"publish_ms\": {:.3}}}{comma}\n",
+                row.shard_count,
+                row.cross_edges,
+                row.boundary_vertices,
+                row.apply_ms,
+                row.updates_per_sec,
+                row.publish_ms,
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str("    \"latency\": [\n");
+        for (i, row) in s.latency.iter().enumerate() {
+            let comma = if i + 1 == s.latency.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      {{\"shard_count\": {}, \"cross_shard\": {}, \"queries\": {}, \"elapsed_ms\": {:.3}, \"qps\": {:.0}}}{comma}\n",
+                row.shard_count, row.cross_shard, row.queries, row.elapsed_ms, row.qps,
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str("  }\n");
         out.push_str("}\n");
         out
     }
@@ -759,6 +976,7 @@ mod tests {
             two_hop_scale: 1,
             two_hop_entries: Vec::new(),
             snapshot_incremental: Vec::new(),
+            store_sharding: StoreShardingSection::default(),
         };
         let prev = "\"phases_ms\": {\n  \"build\": 40.0,\n  \"old_phase\": 2.0\n}";
         let report = compare_report(prev, &snap);
@@ -796,7 +1014,7 @@ mod tests {
         assert_eq!(snap.heap_scale, 400);
         let json = snap.to_json();
         for key in [
-            "\"schema\": \"qpgc-perf-snapshot-v4\"",
+            "\"schema\": \"qpgc-perf-snapshot-v5\"",
             "\"phases_ms\"",
             "\"bisim_csr\"",
             "\"bisim_speedup\"",
@@ -809,6 +1027,9 @@ mod tests {
             "\"patched_batches\"",
             "\"serve_patterns\"",
             "\"pattern_patched_batches\"",
+            "\"store_sharding\"",
+            "\"shard_count\"",
+            "\"cross_shard\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -954,6 +1175,57 @@ mod tests {
                     row.full_ms
                 );
             }
+        }
+
+        // Sharded-store experiment: one row per shard count, the one-shard
+        // row carries no boundary graph, and the in-experiment differential
+        // against the single store already proved answer equality.
+        let sharding = &snap.store_sharding;
+        assert_eq!(sharding.dataset, "citHepTh");
+        assert!(sharding.batches > 0 && sharding.batch_size > 0);
+        let counts: Vec<usize> = sharding.throughput.iter().map(|r| r.shard_count).collect();
+        assert_eq!(counts, [1, 2, 4]);
+        for row in &sharding.throughput {
+            assert!(
+                row.updates_per_sec > 0.0,
+                "shards={}: zero apply throughput",
+                row.shard_count
+            );
+            assert!(row.publish_ms >= 0.0);
+            if row.shard_count == 1 {
+                assert_eq!(row.cross_edges, 0, "one-shard router grew a boundary");
+                assert_eq!(row.boundary_vertices, 0);
+            } else {
+                assert!(
+                    row.cross_edges > 0,
+                    "hash partition produced no cross edges"
+                );
+            }
+        }
+        // Latency rows: intra- and cross-shard mixes at the widest fan-out.
+        assert_eq!(sharding.latency.len(), 2);
+        assert!(!sharding.latency[0].cross_shard && sharding.latency[1].cross_shard);
+        for row in &sharding.latency {
+            assert_eq!(row.shard_count, 4);
+            assert!(row.queries > 0);
+            assert!(
+                row.qps > 0.0,
+                "cross_shard={}: zero query throughput",
+                row.cross_shard
+            );
+        }
+        if std::env::var("QPGC_TIMING_TESTS").is_ok() && cores > 1 {
+            // Multi-writer apply should beat the single writer on real
+            // parallel hardware; meaningless on one core, so opt-in only.
+            let single = sharding.throughput[0].updates_per_sec;
+            let best = sharding.throughput[1..]
+                .iter()
+                .map(|r| r.updates_per_sec)
+                .fold(0.0, f64::max);
+            assert!(
+                best > single,
+                "sharded apply ({best:.0} upd/s) not faster than single writer ({single:.0} upd/s)"
+            );
         }
     }
 }

@@ -67,6 +67,7 @@
 pub mod maintenance;
 pub mod queries;
 pub mod scheme;
+pub mod sharding;
 
 pub use queries::ReachQuery;
 pub use scheme::{PatternScheme, QueryPreservingCompression, ReachabilityScheme};

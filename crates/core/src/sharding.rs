@@ -1,0 +1,141 @@
+//! Batch slicing by node partition — the update-side half of sharded
+//! serving.
+//!
+//! A [`NodePartition`] assigns every node to one shard; an update whose
+//! edge stays within a shard belongs to that shard's writer, while an
+//! update crossing shards touches no shard subgraph and is routed to the
+//! router's boundary graph instead. [`slice_batch`] performs that split
+//! once, up front, so the per-shard writers can run concurrently on
+//! disjoint slices with no coordination.
+
+use qpgc_graph::{NodePartition, UpdateBatch};
+
+/// One [`UpdateBatch`] split by a [`NodePartition`]: the intra-shard slice
+/// per shard (application order preserved within each slice) plus the
+/// cross-shard remainder destined for the boundary graph.
+#[derive(Clone, Debug)]
+pub struct SlicedBatch {
+    /// `per_shard[s]` — the updates whose edges live entirely in shard `s`.
+    /// Always `partition.shards()` entries; untouched shards get an empty
+    /// batch (their writers still republish, which is what keeps every
+    /// shard's version aligned with the router watermark).
+    pub per_shard: Vec<UpdateBatch>,
+    /// Updates whose edges cross shards, in application order — boundary
+    /// graph currency, never applied to any shard subgraph.
+    pub cross: UpdateBatch,
+}
+
+impl SlicedBatch {
+    /// Total number of updates across all slices (`|ΔG|`).
+    pub fn len(&self) -> usize {
+        self.cross.len() + self.per_shard.iter().map(UpdateBatch::len).sum::<usize>()
+    }
+
+    /// `true` when every slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cross.is_empty() && self.per_shard.iter().all(UpdateBatch::is_empty)
+    }
+}
+
+/// Splits `batch` into per-shard intra slices and the cross-shard
+/// remainder under `part`. Every update lands in exactly one slice, and
+/// relative order is preserved within each slice — which is all the
+/// incremental maintainers need, since updates in different slices touch
+/// disjoint edge sets by construction.
+pub fn slice_batch(batch: &UpdateBatch, part: &NodePartition) -> SlicedBatch {
+    let mut per_shard = vec![UpdateBatch::new(); part.shards()];
+    let mut cross = UpdateBatch::new();
+    for u in batch.updates() {
+        let (a, b) = u.edge();
+        let sa = part.shard_of(a);
+        let target = if sa == part.shard_of(b) {
+            &mut per_shard[sa]
+        } else {
+            &mut cross
+        };
+        if u.is_insert() {
+            target.insert(a, b);
+        } else {
+            target.delete(a, b);
+        }
+    }
+    SlicedBatch { per_shard, cross }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpgc_graph::NodeId;
+
+    #[test]
+    fn every_update_lands_in_exactly_one_slice() {
+        let part = NodePartition::new(3);
+        let mut batch = UpdateBatch::new();
+        for i in 0..40u32 {
+            let u = NodeId(i);
+            let v = NodeId((i * 7 + 3) % 40);
+            if i % 2 == 0 {
+                batch.insert(u, v);
+            } else {
+                batch.delete(u, v);
+            }
+        }
+        let sliced = slice_batch(&batch, &part);
+        assert_eq!(sliced.per_shard.len(), 3);
+        assert_eq!(sliced.len(), batch.len());
+        for (s, slice) in sliced.per_shard.iter().enumerate() {
+            for u in slice.updates() {
+                let (a, b) = u.edge();
+                assert_eq!(part.shard_of(a), s);
+                assert_eq!(part.shard_of(b), s);
+            }
+        }
+        for u in sliced.cross.updates() {
+            let (a, b) = u.edge();
+            assert!(part.is_boundary(a, b));
+        }
+    }
+
+    #[test]
+    fn one_shard_slicing_is_the_identity() {
+        let part = NodePartition::new(1);
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(NodeId(0), NodeId(9))
+            .delete(NodeId(4), NodeId(2));
+        let sliced = slice_batch(&batch, &part);
+        assert!(sliced.cross.is_empty());
+        assert_eq!(sliced.per_shard[0], batch);
+        assert!(!sliced.is_empty());
+        assert!(slice_batch(&UpdateBatch::new(), &part).is_empty());
+    }
+
+    #[test]
+    fn kind_and_order_survive_slicing() {
+        let part = NodePartition::new(4);
+        // Find two nodes sharing a shard and two crossing, then interleave.
+        let mut same = None;
+        let mut diff = None;
+        for v in 1..200u32 {
+            if part.shard_of(NodeId(0)) == part.shard_of(NodeId(v)) {
+                same.get_or_insert(v);
+            } else {
+                diff.get_or_insert(v);
+            }
+        }
+        let (same, diff) = (same.unwrap(), diff.unwrap());
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(NodeId(0), NodeId(same))
+            .insert(NodeId(0), NodeId(diff))
+            .delete(NodeId(0), NodeId(same));
+        let sliced = slice_batch(&batch, &part);
+        let home = part.shard_of(NodeId(0));
+        let slice = &sliced.per_shard[home];
+        assert_eq!(slice.len(), 2);
+        assert!(slice.updates()[0].is_insert());
+        assert!(!slice.updates()[1].is_insert());
+        assert_eq!(sliced.cross.len(), 1);
+        assert!(sliced.cross.updates()[0].is_insert());
+    }
+}

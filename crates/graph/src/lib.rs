@@ -19,6 +19,9 @@
 //!   reachability-query evaluation algorithms used in the paper's Exp-2.
 //! * [`scc`] — Tarjan strongly connected components and the condensation
 //!   graph `Gscc` (Section 3.2 optimization, Section 5 rank machinery).
+//! * [`partition`] — deterministic hash partitioning of the node space
+//!   across store shards, with boundary-edge extraction (the substrate of
+//!   the sharded serving router in `qpgc_serve`).
 //! * [`rank`] — topological ranks `r(v)` (Lemma 7) and bisimulation ranks
 //!   `rb(v)` with the well-founded / non-well-founded split (Lemma 9).
 //! * [`reach_sets`] — chunked bit-set ancestor/descendant computation over a
@@ -55,6 +58,7 @@ pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod partition;
 pub mod rank;
 pub mod reach_sets;
 pub mod scc;
@@ -69,6 +73,7 @@ pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use graph::LabeledGraph;
 pub use ids::{Label, NodeId};
+pub use partition::NodePartition;
 pub use scc::Condensation;
 pub use stats::GraphStats;
 pub use update::{ClassBirth, EdgeDelta, PartitionDelta, Update, UpdateBatch};

@@ -1,0 +1,166 @@
+//! The boundary graph: how cross-shard reachability composes.
+//!
+//! A sharded store keeps **intra-shard** edges inside per-shard
+//! [`CompressedStore`]s and parks **cross-shard** edges here. Any global
+//! path decomposes at its cross edges into intra-shard segments, so the
+//! router answers `QR(u, w)` by composing three exact pieces:
+//!
+//! 1. a shard-local prefix from `u` to some boundary node of `u`'s shard
+//!    (answered by that shard's snapshot — 2-hop or quotient BFS),
+//! 2. a walk through the boundary graph (precomputed transitive closure),
+//! 3. a shard-local suffix from a boundary node of `w`'s shard to `w`.
+//!
+//! The boundary graph's vertices are the *nodes* incident to at least one
+//! live cross edge (not their equivalence classes: two reach-equivalent
+//! nodes of a shard subgraph share ancestors and descendants but need not
+//! reach each other, so collapsing them would invent paths). Its edges are
+//! the cross edges themselves plus, per shard, a **summary edge** `x → y`
+//! whenever `x` reaches `y` inside that shard — delegated to the shard
+//! snapshot, so the summary inherits the compression's exactness. The
+//! whole structure is rebuilt from the current cut at every watermark
+//! bump; it stays small because only boundary *endpoints* materialize,
+//! never interior nodes.
+//!
+//! [`CompressedStore`]: crate::CompressedStore
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use qpgc_graph::{FixedBitSet, NodeId};
+
+use crate::snapshot::Snapshot;
+
+/// The reachability summary over one consistent cut's cross edges.
+///
+/// Immutable once built — it is published inside a
+/// [`ShardedSnapshot`](crate::sharded::ShardedSnapshot) and shares its
+/// lifetime, so readers compose queries against exactly the cross-edge set
+/// and shard snapshots of one watermark.
+#[derive(Clone, Debug, Default)]
+pub struct BoundarySummary {
+    /// Vertex `i` is boundary node `nodes[i].0` owned by shard
+    /// `nodes[i].1`, in first-appearance order over the sorted cross-edge
+    /// set (deterministic across runs).
+    nodes: Vec<(NodeId, usize)>,
+    /// Vertex indices per owning shard.
+    by_shard: Vec<Vec<usize>>,
+    /// `closure[i]` — every vertex reachable from vertex `i` through cross
+    /// and summary edges, self included.
+    closure: Vec<FixedBitSet>,
+}
+
+impl BoundarySummary {
+    /// Builds the summary for one cut: `cross` is the live cross-edge set
+    /// (sorted, deduplicated), `snaps` the per-shard snapshots of the same
+    /// watermark. Intra-shard summary edges are decided by
+    /// [`Snapshot::reachable`] on representative pairs, so they are exact
+    /// for the shard subgraph.
+    pub(crate) fn build(
+        snaps: &[Arc<Snapshot>],
+        cross: impl Iterator<Item = (NodeId, NodeId)>,
+        shard_of: impl Fn(NodeId) -> usize,
+    ) -> BoundarySummary {
+        let mut nodes: Vec<(NodeId, usize)> = Vec::new();
+        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let mut by_shard = vec![Vec::new(); snaps.len()];
+        let mut intern = |v: NodeId, nodes: &mut Vec<(NodeId, usize)>| -> usize {
+            *index.entry(v).or_insert_with(|| {
+                let shard = shard_of(v);
+                nodes.push((v, shard));
+                by_shard[shard].push(nodes.len() - 1);
+                nodes.len() - 1
+            })
+        };
+        let mut adjacency: Vec<Vec<usize>> = Vec::new();
+        for (u, v) in cross {
+            let iu = intern(u, &mut nodes);
+            let iv = intern(v, &mut nodes);
+            adjacency.resize(nodes.len(), Vec::new());
+            adjacency[iu].push(iv);
+        }
+        // Summary edges: shard-local reachability between boundary nodes of
+        // the same shard, answered by that shard's snapshot.
+        for verts in &by_shard {
+            for &i in verts {
+                for &j in verts {
+                    if i != j && snaps[nodes[i].1].reachable(nodes[i].0, nodes[j].0) {
+                        adjacency[i].push(j);
+                    }
+                }
+            }
+        }
+        // Per-vertex closure by BFS — the boundary graph may be cyclic
+        // (cross edges can close global cycles the shard quotients never
+        // see), which a visited set handles for free.
+        let closure = (0..nodes.len())
+            .map(|start| {
+                let mut seen = FixedBitSet::with_capacity(nodes.len());
+                seen.insert(start);
+                let mut stack = vec![start];
+                while let Some(i) = stack.pop() {
+                    for &j in &adjacency[i] {
+                        if !seen.contains(j) {
+                            seen.insert(j);
+                            stack.push(j);
+                        }
+                    }
+                }
+                seen
+            })
+            .collect();
+        BoundarySummary {
+            nodes,
+            by_shard,
+            closure,
+        }
+    }
+
+    /// Number of boundary vertices (distinct cross-edge endpoints).
+    pub fn vertex_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether a path `u ⇝ w` exists that crosses at least one shard
+    /// boundary: some boundary node of shard `su` is shard-locally
+    /// reachable from `u`, reaches — through the boundary closure — some
+    /// boundary node of shard `sw`, which shard-locally reaches `w`.
+    /// `su`/`sw` are the shards owning `u`/`w`; purely intra-shard paths
+    /// are the caller's (cheaper) first check.
+    pub(crate) fn bridges(
+        &self,
+        snaps: &[Arc<Snapshot>],
+        u: NodeId,
+        su: usize,
+        w: NodeId,
+        sw: usize,
+    ) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let mut reached = FixedBitSet::with_capacity(self.nodes.len());
+        for &i in &self.by_shard[su] {
+            if !reached.contains(i) && snaps[su].reachable(u, self.nodes[i].0) {
+                reached.union_with(&self.closure[i]);
+            }
+        }
+        self.by_shard[sw]
+            .iter()
+            .any(|&j| reached.contains(j) && snaps[sw].reachable(self.nodes[j].0, w))
+    }
+
+    /// Heap footprint, for capacity accounting next to
+    /// [`Snapshot::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<(NodeId, usize)>()
+            + self
+                .by_shard
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+            + self
+                .closure
+                .iter()
+                .map(FixedBitSet::heap_bytes)
+                .sum::<usize>()
+    }
+}

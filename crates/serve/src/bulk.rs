@@ -1,17 +1,20 @@
-//! Parallel bulk-query evaluation over a shared snapshot.
+//! Parallel bulk-query evaluation over a shared read cut.
 
 use qpgc_graph::NodeId;
 
+use crate::api::ReachCut;
 use crate::parallel::effective_threads;
-use crate::snapshot::Snapshot;
 
-/// Answers a batch of reachability queries against one shared snapshot,
-/// sharded across `threads` scoped workers (`0` = `available_parallelism`).
-/// Answers are returned in query order; with `threads == 1` this is a plain
-/// sequential loop. Every worker reads the same immutable snapshot, so
-/// there is no synchronization on the query path at all.
-pub fn bulk_reachable(
-    snapshot: &Snapshot,
+/// Answers a batch of reachability queries against one shared [`ReachCut`]
+/// — a single-store [`Snapshot`](crate::Snapshot) or a sharded store's
+/// [`ShardedSnapshot`](crate::sharded::ShardedSnapshot) — sharded across
+/// `threads` scoped workers (`0` = `available_parallelism`). Answers are
+/// returned in query order; with `threads == 1` this is a plain sequential
+/// loop. Every worker reads the same immutable cut, so there is no
+/// synchronization on the query path at all — and every query in the batch
+/// is answered at the same version, whichever backend published the cut.
+pub fn bulk_reachable<C: ReachCut + ?Sized>(
+    cut: &C,
     queries: &[(NodeId, NodeId)],
     threads: usize,
 ) -> Vec<bool> {
@@ -19,7 +22,7 @@ pub fn bulk_reachable(
     let threads = effective_threads(threads, queries.len());
     if threads <= 1 {
         for (o, &(u, w)) in out.iter_mut().zip(queries) {
-            *o = snapshot.reachable(u, w);
+            *o = cut.reachable(u, w);
         }
         return out;
     }
@@ -28,7 +31,7 @@ pub fn bulk_reachable(
         for (q_chunk, o_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
             s.spawn(move || {
                 for (o, &(u, w)) in o_chunk.iter_mut().zip(q_chunk) {
-                    *o = snapshot.reachable(u, w);
+                    *o = cut.reachable(u, w);
                 }
             });
         }

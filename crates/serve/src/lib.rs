@@ -7,6 +7,23 @@
 //!
 //! ## Architecture
 //!
+//! Two backends serve reachability behind one trait pair —
+//! [`ReachStore`] (writer surface: `load`, `watermark`, `apply`) and
+//! [`ReachCut`] (the immutable view a `load` hands back):
+//!
+//! * [`CompressedStore`] — the single-writer store; its cut is a
+//!   [`Snapshot`].
+//! * [`ShardedStore`] — the multi-writer router; a deterministic hash
+//!   partition ([`qpgc_graph::NodePartition`]) splits the node space
+//!   across [`StoreConfig::shards`] inner stores whose writers apply
+//!   their slice of every batch concurrently, cross-shard edges live in a
+//!   boundary graph ([`boundary::BoundarySummary`]), and its cut is a
+//!   [`ShardedSnapshot`] — one watermark, every shard snapshot at exactly
+//!   that version, and the boundary summary built over them, swapped in
+//!   atomically so readers never see a torn cut.
+//!
+//! The pieces underneath:
+//!
 //! * [`Snapshot`] — an immutable, versioned view of one compression state:
 //!   the CSR form of `Gr` (rows indexed by the maintainer's *stable* class
 //!   ids), the node → hypernode index, the cyclic flags, an optional
@@ -22,7 +39,8 @@
 //!   snapshot atomically; readers holding the old `Arc` keep a consistent
 //!   pre-batch view until they re-`load`.
 //! * [`bulk_reachable`] — shards a query batch across `std::thread::scope`
-//!   workers, all reading the same shared snapshot.
+//!   workers, all reading the same shared cut (generic over [`ReachCut`],
+//!   so it serves both backends).
 //! * Snapshot *publication* is **incremental on both query classes**:
 //!   below the configurable damage threshold
 //!   ([`StoreConfig::damage_threshold`]) the writer derives the next
@@ -45,11 +63,15 @@
 //!
 //! ## Consistency model
 //!
-//! Snapshots are immutable and versioned. A reader sees exactly the state
+//! Cuts are immutable and versioned. A reader sees exactly the state
 //! `R(G ⊕ ΔG₁ ⊕ … ⊕ ΔGₖ)` for the `k` batches applied before its `load` —
-//! never a partially-applied batch, never a mix of two states. The
-//! concurrency tests pin this down by checking every concurrent answer
-//! against a BFS oracle on the exact graph version the snapshot advertises.
+//! never a partially-applied batch, never a mix of two states. On the
+//! sharded store this extends across shards: every shard receives its
+//! (possibly empty) slice of every batch, so shard versions track the
+//! router watermark, and the cut swap happens once, after all shard
+//! writers have joined. The concurrency tests pin this down by checking
+//! every concurrent answer against a BFS oracle on the exact graph version
+//! the cut advertises.
 //!
 //! [`TwoHopIndex`]: qpgc_reach::two_hop::TwoHopIndex
 //! [`UpdateBatch`]: qpgc_graph::UpdateBatch
@@ -58,11 +80,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod boundary;
 pub mod bulk;
 pub mod parallel;
+pub mod sharded;
 pub mod snapshot;
 pub mod store;
 
+pub use api::{ReachCut, ReachStore};
+pub use boundary::BoundarySummary;
 pub use bulk::bulk_reachable;
+pub use sharded::{ShardedSnapshot, ShardedStore};
 pub use snapshot::Snapshot;
-pub use store::{ApplyPath, ApplyReport, CompressedStore, StoreConfig};
+pub use store::{
+    ApplyPath, ApplyReport, CompressedStore, ShardApply, StoreConfig, StoreConfigBuilder,
+};

@@ -1,0 +1,479 @@
+//! The sharded store: hash-partitioned multi-writer serving behind the
+//! same [`ReachStore`](crate::ReachStore) surface as a single
+//! [`CompressedStore`].
+//!
+//! ## Architecture
+//!
+//! A [`NodePartition`] deterministically assigns every node to one of `N`
+//! shards ([`StoreConfig::shards`]). Each shard owns a full
+//! [`CompressedStore`] over its subgraph — the full node set with only
+//! intra-shard edges, so shard snapshots speak global node ids — and
+//! maintains it with the same incremental machinery (`incRCM`, delta
+//! patching, optional 2-hop) as the single-store path. Edges crossing
+//! shards belong to no shard; they live in the router's cross-edge set and
+//! surface as the [`BoundarySummary`] of every published cut.
+//!
+//! [`ShardedStore::apply`] slices each batch by the partition
+//! ([`qpgc::sharding::slice_batch`]), hands every shard its slice on a
+//! scoped thread — `N` incremental maintenances and snapshot publications
+//! running concurrently — applies the cross-shard slice to the boundary
+//! edge set, and then performs the **watermark bump**: collect the `N`
+//! fresh shard snapshots, rebuild the boundary summary over them, and swap
+//! one [`ShardedSnapshot`] in atomically. Every shard receives its
+//! (possibly empty) slice of every batch, so shard versions always equal
+//! the router watermark and a cut is internally consistent by
+//! construction.
+//!
+//! ## Consistency model
+//!
+//! Readers [`load`](ShardedStore::load) an `Arc<ShardedSnapshot>` — one
+//! watermark, `N` shard snapshots of exactly that version, and the
+//! boundary summary built from those same snapshots. Mid-apply states
+//! (some shards published, others not) are never visible: the cut swap
+//! happens once, after all shard writers have joined. A reader holding an
+//! old cut keeps a consistent pre-batch view, exactly like the
+//! single-store snapshot contract.
+//!
+//! ## Restrictions
+//!
+//! Pattern serving is rejected ([`ShardedStore::new`] panics on
+//! `serve_patterns`): a bisimulation quotient does not decompose over a
+//! node partition the way reachability does — a match relation can hinge
+//! on cross-shard edges — so patterns stay a single-store feature.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, RwLock};
+
+use qpgc::sharding::slice_batch;
+use qpgc_graph::partition::split_graph;
+use qpgc_graph::{LabeledGraph, NodeId, NodePartition, UpdateBatch};
+use qpgc_reach::incremental::IncStats;
+
+use crate::boundary::BoundarySummary;
+use crate::snapshot::Snapshot;
+use crate::store::{ApplyPath, ApplyReport, CompressedStore, ShardApply, StoreConfig};
+
+/// One consistent cross-shard read cut: the router watermark, every
+/// shard's snapshot at exactly that version, and the boundary summary
+/// built over those snapshots. Immutable after publication; readers
+/// compose reachability queries on it without synchronization.
+#[derive(Clone, Debug)]
+pub struct ShardedSnapshot {
+    watermark: u64,
+    part: NodePartition,
+    shards: Vec<Arc<Snapshot>>,
+    boundary: BoundarySummary,
+}
+
+impl ShardedSnapshot {
+    /// The router watermark — the number of batches applied before this
+    /// cut was published. Equal to every shard snapshot's version.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The per-shard snapshots, in shard order (all at
+    /// [`ShardedSnapshot::watermark`]).
+    pub fn shard_snapshots(&self) -> &[Arc<Snapshot>] {
+        &self.shards
+    }
+
+    /// The boundary summary of this cut.
+    pub fn boundary(&self) -> &BoundarySummary {
+        &self.boundary
+    }
+
+    /// Answers `QR(u, w)` on the full graph: the owning shard's local
+    /// answer when `u` and `w` share a shard, composed with a boundary
+    /// walk otherwise (and even same-shard queries fall through to the
+    /// boundary — a path may leave the shard and come back).
+    pub fn reachable(&self, u: NodeId, w: NodeId) -> bool {
+        if u == w {
+            return true;
+        }
+        let su = self.part.shard_of(u);
+        let sw = self.part.shard_of(w);
+        if su == sw && self.shards[su].reachable(u, w) {
+            return true;
+        }
+        self.boundary.bridges(&self.shards, u, su, w, sw)
+    }
+
+    /// Total heap footprint: shard snapshots plus the boundary summary.
+    pub fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.heap_bytes()).sum::<usize>() + self.boundary.heap_bytes()
+    }
+}
+
+impl crate::api::ReachCut for ShardedSnapshot {
+    fn version(&self) -> u64 {
+        self.watermark
+    }
+
+    fn reachable(&self, u: NodeId, w: NodeId) -> bool {
+        ShardedSnapshot::reachable(self, u, w)
+    }
+}
+
+struct Router {
+    /// Live cross-shard edges, sorted for deterministic summary builds.
+    cross: BTreeSet<(NodeId, NodeId)>,
+    watermark: u64,
+}
+
+/// A hash-partitioned, multi-writer serving store.
+///
+/// Construction splits the data graph once; from then on every
+/// [`ShardedStore::apply`] runs the per-shard incremental maintenances
+/// concurrently and publishes one atomic [`ShardedSnapshot`] cut. With
+/// [`StoreConfig::shards`] `== 1` the router degenerates to a single
+/// shard with an empty boundary graph and must answer bit-identically to
+/// a [`CompressedStore`] over the same graph — the differential suite
+/// pins that down for `N ∈ {1, 2, 4}`.
+pub struct ShardedStore {
+    config: StoreConfig,
+    part: NodePartition,
+    shards: Vec<CompressedStore>,
+    router: Mutex<Router>,
+    current: RwLock<Arc<ShardedSnapshot>>,
+}
+
+impl ShardedStore {
+    /// Splits `g` by [`StoreConfig::shards`], compresses every shard
+    /// subgraph concurrently, and publishes the version-0 cut.
+    ///
+    /// # Panics
+    ///
+    /// When `config.serve_patterns` is set — see the module docs.
+    pub fn new(g: LabeledGraph, config: StoreConfig) -> Self {
+        assert!(
+            !config.serve_patterns,
+            "pattern serving is not supported on a sharded store \
+             (bisimulation does not decompose over a node partition)"
+        );
+        let part = NodePartition::new(config.shards);
+        let (subgraphs, boundary) = split_graph(&g, &part);
+        let shard_config = StoreConfig {
+            shards: 1,
+            ..config
+        };
+        let shards: Vec<CompressedStore> = std::thread::scope(|s| {
+            let handles: Vec<_> = subgraphs
+                .into_iter()
+                .map(|sub| s.spawn(move || CompressedStore::new(sub, shard_config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard compression panicked"))
+                .collect()
+        });
+        let cross: BTreeSet<(NodeId, NodeId)> = boundary.into_iter().collect();
+        let cut = Self::cut(&part, &shards, &cross, 0);
+        ShardedStore {
+            config,
+            part,
+            shards,
+            router: Mutex::new(Router {
+                cross,
+                watermark: 0,
+            }),
+            current: RwLock::new(Arc::new(cut)),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of shards (`≥ 1`).
+    pub fn shard_count(&self) -> usize {
+        self.part.shards()
+    }
+
+    /// The currently published cut. Hold it as long as you like — the
+    /// writers never mutate published cuts, the router only swaps in new
+    /// ones.
+    pub fn load(&self) -> Arc<ShardedSnapshot> {
+        self.current.read().expect("cut lock poisoned").clone()
+    }
+
+    /// Watermark of the currently published cut.
+    pub fn watermark(&self) -> u64 {
+        self.load().watermark()
+    }
+
+    /// Answers one reachability query on the current cut.
+    pub fn reachable(&self, u: NodeId, w: NodeId) -> bool {
+        self.load().reachable(u, w)
+    }
+
+    /// Answers a batch of reachability queries, sharded across the
+    /// configured worker count — all against one cut.
+    pub fn bulk_reachable(&self, queries: &[(NodeId, NodeId)]) -> Vec<bool> {
+        crate::bulk::bulk_reachable(&*self.load(), queries, self.config.threads)
+    }
+
+    /// Applies `ΔG`: slices the batch by the node partition, runs every
+    /// shard's incremental maintenance and snapshot publication on its own
+    /// scoped thread, folds the cross-shard slice into the boundary edge
+    /// set, and bumps the watermark by swapping in one fresh
+    /// [`ShardedSnapshot`]. Concurrent callers are serialized on the
+    /// router; readers only ever see complete cuts.
+    ///
+    /// The returned [`ApplyReport`] aggregates the per-shard reports (see
+    /// its docs for the exact semantics) and carries the breakdown in
+    /// [`ApplyReport::shards`]; its `publish_ms` spans the slowest shard
+    /// publication **plus** the watermark bump, so it is end-to-end
+    /// comparable with the single-store number.
+    pub fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
+        let mut router = self.router.lock().expect("router lock poisoned");
+        let sliced = slice_batch(batch, &self.part);
+        let reports: Vec<ApplyReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&sliced.per_shard)
+                .map(|(shard, slice)| s.spawn(move || shard.apply(slice)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard writer panicked"))
+                .collect()
+        });
+        for u in sliced.cross.updates() {
+            let (a, b) = u.edge();
+            if u.is_insert() {
+                router.cross.insert((a, b));
+            } else {
+                router.cross.remove(&(a, b));
+            }
+        }
+        router.watermark += 1;
+        let bump_start = std::time::Instant::now();
+        let cut = Self::cut(&self.part, &self.shards, &router.cross, router.watermark);
+        *self.current.write().expect("cut lock poisoned") = Arc::new(cut);
+        let bump_ms = bump_start.elapsed().as_secs_f64() * 1e3;
+
+        let shards: Vec<ShardApply> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ShardApply {
+                shard: i,
+                path: r.path,
+                reach: r.reach,
+                publish_ms: r.publish_ms,
+            })
+            .collect();
+        let slowest = reports.iter().map(|r| r.publish_ms).fold(0.0f64, f64::max);
+        // Aggregate path: the most expensive path any shard took, carrying
+        // the maximum churn observed on that path.
+        let path = reports
+            .iter()
+            .map(|r| r.path)
+            .max_by(|a, b| {
+                path_rank(a)
+                    .partial_cmp(&path_rank(b))
+                    .expect("churn is never NaN")
+            })
+            .expect("at least one shard");
+        ApplyReport {
+            version: router.watermark,
+            reach: reports
+                .iter()
+                .fold(IncStats::default(), |acc, r| sum_stats(acc, r.reach)),
+            pattern: None,
+            path,
+            publish_ms: slowest + bump_ms,
+            shards,
+        }
+    }
+
+    /// Builds the cut of watermark `watermark` from the shards' current
+    /// snapshots and the live cross-edge set.
+    fn cut(
+        part: &NodePartition,
+        shards: &[CompressedStore],
+        cross: &BTreeSet<(NodeId, NodeId)>,
+        watermark: u64,
+    ) -> ShardedSnapshot {
+        let snaps: Vec<Arc<Snapshot>> = shards.iter().map(CompressedStore::load).collect();
+        debug_assert!(
+            snaps.iter().all(|s| s.version() == watermark),
+            "every shard receives every batch, so shard versions track the watermark"
+        );
+        let boundary = BoundarySummary::build(&snaps, cross.iter().copied(), |v| part.shard_of(v));
+        ShardedSnapshot {
+            watermark,
+            part: *part,
+            shards: snaps,
+            boundary,
+        }
+    }
+}
+
+impl crate::api::ReachStore for ShardedStore {
+    type Cut = ShardedSnapshot;
+
+    fn load(&self) -> Arc<ShardedSnapshot> {
+        ShardedStore::load(self)
+    }
+
+    fn watermark(&self) -> u64 {
+        ShardedStore::watermark(self)
+    }
+
+    fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
+        ShardedStore::apply(self, batch)
+    }
+
+    fn bulk_reachable(&self, queries: &[(NodeId, NodeId)]) -> Vec<bool> {
+        ShardedStore::bulk_reachable(self, queries)
+    }
+}
+
+/// Expense order of an [`ApplyPath`]: `Rebuilt` over `Patched` over
+/// `Republished`, ties broken by churn.
+fn path_rank(p: &ApplyPath) -> (u8, f64) {
+    match *p {
+        ApplyPath::Republished => (0, 0.0),
+        ApplyPath::Patched { churn, .. } => (1, churn),
+        ApplyPath::Rebuilt { churn, .. } => (2, churn),
+    }
+}
+
+/// Field-wise sum of two maintenance-statistics records.
+fn sum_stats(a: IncStats, b: IncStats) -> IncStats {
+    IncStats {
+        effective_updates: a.effective_updates + b.effective_updates,
+        redundant_dropped: a.redundant_dropped + b.redundant_dropped,
+        affected_classes: a.affected_classes + b.affected_classes,
+        affected_nodes: a.affected_nodes + b.affected_nodes,
+        hybrid_nodes: a.hybrid_nodes + b.hybrid_nodes,
+        changed_classes: a.changed_classes + b.changed_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ReachStore as _;
+    use qpgc_graph::traversal::bfs_reachable;
+
+    fn chain_with_fanout() -> LabeledGraph {
+        // Enough nodes that every 2- and 4-way hash partition actually
+        // cuts some edges.
+        let mut g = LabeledGraph::new();
+        for _ in 0..24 {
+            g.add_node_with_label("X");
+        }
+        for i in 0..23u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g.add_edge(NodeId(0), NodeId(12));
+        g.add_edge(NodeId(5), NodeId(20));
+        g
+    }
+
+    fn all_pairs_match_bfs(store: &ShardedStore, g: &LabeledGraph) {
+        let cut = store.load();
+        for u in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(
+                    cut.reachable(u, w),
+                    bfs_reachable(g, u, w),
+                    "shards={}: ({u},{w}) at watermark {}",
+                    store.shard_count(),
+                    cut.watermark()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_answers_are_bfs_exact_across_shard_counts() {
+        for shards in [1usize, 2, 4] {
+            let mut g = chain_with_fanout();
+            let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build());
+            assert_eq!(store.shard_count(), shards);
+            all_pairs_match_bfs(&store, &g);
+
+            // Delete a chain edge (wherever the hash put it) and insert a
+            // long back edge — both cut and intra updates get exercised as
+            // the shard count varies.
+            let mut batch = UpdateBatch::new();
+            batch
+                .delete(NodeId(7), NodeId(8))
+                .insert(NodeId(22), NodeId(1));
+            let report = store.apply(&batch);
+            assert_eq!(report.version, 1);
+            assert_eq!(report.shards.len(), shards);
+            assert_eq!(store.watermark(), 1);
+            batch.apply_to(&mut g);
+            all_pairs_match_bfs(&store, &g);
+        }
+    }
+
+    #[test]
+    fn one_shard_router_matches_the_single_store() {
+        let g = chain_with_fanout();
+        let single = CompressedStore::new(g.clone(), StoreConfig::default());
+        let sharded = ShardedStore::new(g.clone(), StoreConfig::default());
+        assert_eq!(sharded.load().boundary().vertex_count(), 0);
+        for u in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(single.reachable(u, w), sharded.reachable(u, w));
+            }
+        }
+    }
+
+    #[test]
+    fn old_cuts_stay_consistent_after_new_publications() {
+        let g = chain_with_fanout();
+        let store = ShardedStore::new(g, StoreConfig::builder().shards(2).build());
+        let before = store.load();
+        assert!(before.reachable(NodeId(0), NodeId(23)));
+        let mut batch = UpdateBatch::new();
+        batch
+            .delete(NodeId(11), NodeId(12))
+            .delete(NodeId(0), NodeId(12))
+            .delete(NodeId(5), NodeId(20));
+        store.apply(&batch);
+        // The held cut still answers at watermark 0.
+        assert_eq!(before.watermark(), 0);
+        assert!(before.reachable(NodeId(0), NodeId(23)));
+        assert!(!store.reachable(NodeId(0), NodeId(23)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern serving")]
+    fn pattern_serving_is_rejected() {
+        let _ = ShardedStore::new(
+            chain_with_fanout(),
+            StoreConfig::builder().shards(2).patterns(true).build(),
+        );
+    }
+
+    #[test]
+    fn report_aggregates_shard_paths() {
+        let g = chain_with_fanout();
+        let store = ShardedStore::new(g, StoreConfig::builder().shards(4).build());
+        let mut batch = UpdateBatch::new();
+        batch.delete(NodeId(3), NodeId(4));
+        let report = store.apply(&batch);
+        assert_eq!(report.shards.len(), 4);
+        assert_eq!(report.shard_paths().count(), 4);
+        // The aggregate path is at least as expensive as every per-shard
+        // path.
+        for s in &report.shards {
+            assert!(path_rank(&s.path) <= path_rank(&report.path));
+        }
+        // publish_ms covers the slowest shard plus the watermark bump.
+        let slowest = report
+            .shards
+            .iter()
+            .map(|s| s.publish_ms)
+            .fold(0.0, f64::max);
+        assert!(report.publish_ms >= slowest);
+    }
+}

@@ -453,10 +453,7 @@ mod tests {
     fn snapshot_answers_match_bfs_with_and_without_index() {
         let mut rng = StdRng::seed_from_u64(17);
         let bfs_only = StoreConfig::default();
-        let indexed = StoreConfig {
-            two_hop: Some(Default::default()),
-            ..StoreConfig::default()
-        };
+        let indexed = StoreConfig::builder().two_hop(Default::default()).build();
         for _ in 0..15 {
             let g = random_graph(&mut rng, 25);
             let plain = build(&g, &bfs_only);
@@ -543,13 +540,12 @@ mod tests {
     #[test]
     fn apply_delta_equals_full_rebuild_structurally() {
         let mut rng = StdRng::seed_from_u64(31);
-        let config = StoreConfig {
-            two_hop: Some(Default::default()),
+        let config = StoreConfig::builder()
+            .two_hop(Default::default())
             // Exercise the scoped 2-hop re-labeling even when most of the
             // tiny graph is dirty.
-            damage_threshold: f64::INFINITY,
-            ..StoreConfig::default()
-        };
+            .damage_threshold(f64::INFINITY)
+            .build();
         for case in 0..25 {
             let mut g = random_graph(&mut rng, 20);
             let mut m = MaintainedReachability::new(g.clone());

@@ -12,7 +12,21 @@ use qpgc_reach::two_hop::TwoHopConfig;
 
 use crate::snapshot::Snapshot;
 
-/// Configuration of a [`CompressedStore`].
+/// Configuration of a serving store ([`CompressedStore`] or
+/// [`ShardedStore`](crate::sharded::ShardedStore)).
+///
+/// Construct it with [`StoreConfig::builder`] — the supported constructor
+/// from PR 6 on — or take [`StoreConfig::default`]:
+///
+/// ```
+/// use qpgc_serve::StoreConfig;
+/// let config = StoreConfig::builder()
+///     .damage_threshold(0.5)
+///     .two_hop(Default::default())
+///     .shards(4)
+///     .build();
+/// assert_eq!(config.shards, 4);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
     /// Worker threads for store-level bulk evaluation
@@ -46,6 +60,12 @@ pub struct StoreConfig {
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     pub damage_threshold: f64,
+    /// Number of hash-partitioned shards a
+    /// [`ShardedStore`](crate::sharded::ShardedStore) splits the node space
+    /// across (per-shard writers then apply their slice of each batch
+    /// concurrently). `1` — the default — is the degenerate single-slice
+    /// router; [`CompressedStore`] ignores the field entirely.
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -55,7 +75,68 @@ impl Default for StoreConfig {
             two_hop: None,
             serve_patterns: false,
             damage_threshold: 0.25,
+            shards: 1,
         }
+    }
+}
+
+impl StoreConfig {
+    /// Starts a [`StoreConfigBuilder`] seeded with the defaults. The
+    /// builder is the supported constructor; `..Default::default()` struct
+    /// updates keep compiling but new knobs are only promised a builder
+    /// method.
+    pub fn builder() -> StoreConfigBuilder {
+        StoreConfigBuilder {
+            config: StoreConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`StoreConfig`] — see [`StoreConfig::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct StoreConfigBuilder {
+    config: StoreConfig,
+}
+
+impl StoreConfigBuilder {
+    /// Worker threads for store-level bulk evaluation (`0` means
+    /// `available_parallelism`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Builds a 2-hop index over `Gr` in every snapshot.
+    pub fn two_hop(mut self, config: TwoHopConfig) -> Self {
+        self.config.two_hop = Some(config);
+        self
+    }
+
+    /// Also maintain and serve the pattern-preserving compression.
+    pub fn patterns(mut self, serve_patterns: bool) -> Self {
+        self.config.serve_patterns = serve_patterns;
+        self
+    }
+
+    /// Damage threshold of delta-patched snapshot publication (see
+    /// [`StoreConfig::damage_threshold`] for the at-most boundary
+    /// semantics).
+    pub fn damage_threshold(mut self, threshold: f64) -> Self {
+        self.config.damage_threshold = threshold;
+        self
+    }
+
+    /// Number of hash-partitioned shards for a
+    /// [`ShardedStore`](crate::sharded::ShardedStore) (`0` is clamped to
+    /// `1`).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> StoreConfig {
+        self.config
     }
 }
 
@@ -123,23 +204,65 @@ impl ApplyPath {
     }
 }
 
-/// What one [`CompressedStore::apply`] call did.
+/// How one shard of a sharded application fared: the per-shard slice of a
+/// sharded [`ApplyReport`].
 #[derive(Clone, Copy, Debug)]
+pub struct ShardApply {
+    /// Shard index in `0..StoreConfig::shards`.
+    pub shard: usize,
+    /// Which construction path published that shard's snapshot.
+    pub path: ApplyPath,
+    /// Maintenance statistics of the shard's reachability side.
+    pub reach: IncStats,
+    /// Wall-clock of that shard's snapshot publication alone.
+    pub publish_ms: f64,
+}
+
+/// What one `apply` call did — on a [`CompressedStore`] or, shard by shard,
+/// on a [`ShardedStore`](crate::sharded::ShardedStore).
+///
+/// The scalar fields are the **aggregate view** and mean the same thing on
+/// both backends, so single-store accessors keep working unchanged: on a
+/// sharded application `reach` sums the per-shard maintenance statistics,
+/// `path` is the most expensive path any shard took (`Rebuilt` over
+/// `Patched` over `Republished`, carrying the maximum churn observed on
+/// that path), and `publish_ms` spans the full publication — the slowest
+/// concurrent shard publication *plus* the router's watermark bump
+/// (boundary-graph rebuild and cut swap), so it is end-to-end comparable
+/// with the single-store number. The per-shard breakdown rides along in
+/// [`ApplyReport::shards`] (empty on single-store applies).
+#[derive(Clone, Debug)]
 pub struct ApplyReport {
-    /// Version of the snapshot published by this batch.
+    /// Version of the snapshot published by this batch (the router
+    /// watermark, on a sharded store).
     pub version: u64,
-    /// Maintenance statistics of the reachability side.
+    /// Maintenance statistics of the reachability side (summed across
+    /// shards on a sharded store).
     pub reach: IncStats,
     /// Maintenance statistics of the pattern side, when served.
     pub pattern: Option<IncPatternStats>,
-    /// Which construction path published the snapshot.
+    /// Which construction path published the snapshot (the most expensive
+    /// per-shard path, on a sharded store).
     pub path: ApplyPath,
     /// Wall-clock of snapshot *publication* alone (building the new
     /// snapshot — by whichever path — and swapping it in), excluding the
     /// incremental maintenance of the compressions, which costs the same
-    /// regardless of the publication path. This is the number the
+    /// regardless of the publication path. On a sharded store this covers
+    /// the slowest shard's publication **and** the watermark bump that
+    /// makes the new cut visible. This is the number the
     /// `snapshot_incremental` benchmark compares across paths.
     pub publish_ms: f64,
+    /// Per-shard application reports, in shard order; empty when the
+    /// report came from a single [`CompressedStore`].
+    pub shards: Vec<ShardApply>,
+}
+
+impl ApplyReport {
+    /// The per-shard apply paths, in shard order (empty on single-store
+    /// reports).
+    pub fn shard_paths(&self) -> impl Iterator<Item = ApplyPath> + '_ {
+        self.shards.iter().map(|s| s.path)
+    }
 }
 
 struct Writer {
@@ -219,7 +342,7 @@ impl CompressedStore {
     /// Callers wanting a different worker count (or to pin a snapshot
     /// across batches) use [`crate::bulk_reachable`] directly.
     pub fn bulk_reachable(&self, queries: &[(NodeId, NodeId)]) -> Vec<bool> {
-        crate::bulk::bulk_reachable(&self.load(), queries, self.config.threads)
+        crate::bulk::bulk_reachable(&*self.load(), queries, self.config.threads)
     }
 
     /// Applies `ΔG`: updates the data graph and both maintained
@@ -313,6 +436,7 @@ impl CompressedStore {
             pattern: pattern_stats,
             path,
             publish_ms: publish_start.elapsed().as_secs_f64() * 1e3,
+            shards: Vec::new(),
         }
     }
 
@@ -415,13 +539,7 @@ mod tests {
 
     #[test]
     fn pattern_serving_tracks_updates() {
-        let store = CompressedStore::new(
-            sample(),
-            StoreConfig {
-                serve_patterns: true,
-                ..StoreConfig::default()
-            },
-        );
+        let store = CompressedStore::new(sample(), StoreConfig::builder().patterns(true).build());
         let mut q = Pattern::new();
         let a = q.add_node("A");
         let b = q.add_node("B");
@@ -458,11 +576,10 @@ mod tests {
     fn quiet_batches_share_the_pattern_view_pointerwise() {
         let store = CompressedStore::new(
             sample(),
-            StoreConfig {
-                serve_patterns: true,
-                damage_threshold: f64::INFINITY,
-                ..StoreConfig::default()
-            },
+            StoreConfig::builder()
+                .patterns(true)
+                .damage_threshold(f64::INFINITY)
+                .build(),
         );
         let before = store.load();
 
@@ -503,13 +620,7 @@ mod tests {
     #[test]
     fn pattern_serving_costs_measurable_heap() {
         let plain = CompressedStore::new(sample(), StoreConfig::default());
-        let serving = CompressedStore::new(
-            sample(),
-            StoreConfig {
-                serve_patterns: true,
-                ..StoreConfig::default()
-            },
-        );
+        let serving = CompressedStore::new(sample(), StoreConfig::builder().patterns(true).build());
         assert!(serving.load().heap_bytes() > plain.load().heap_bytes());
     }
 
@@ -518,10 +629,7 @@ mod tests {
         let mut g = sample();
         let store = CompressedStore::new(
             g.clone(),
-            StoreConfig {
-                two_hop: Some(Default::default()),
-                ..StoreConfig::default()
-            },
+            StoreConfig::builder().two_hop(Default::default()).build(),
         );
         let batches: Vec<Vec<(u32, u32, bool)>> = vec![
             vec![(3, 0, true)],

@@ -1,14 +1,18 @@
-//! Loom-free concurrency test for [`CompressedStore`]: N reader threads
-//! issue reachability queries while the writer applies update batches.
-//! Every recorded answer must match a BFS oracle on the *exact* graph
-//! version the answering snapshot advertises — i.e. readers only ever see
-//! fully-applied pre- or post-batch states, never a torn intermediate.
+//! Concurrency test for [`ShardedStore`]: reader threads issue
+//! reachability queries while the router applies batches across its
+//! concurrent shard writers. Every recorded answer must match a BFS
+//! oracle on the *exact* graph version the answering cut's watermark
+//! advertises — i.e. a reader never observes a torn cut where some shards
+//! have applied a batch and others (or the boundary graph) have not.
+//! Because most random edges cross shards under the hash partition, every
+//! batch exercises the shard writers, the boundary edge set, and the
+//! watermark bump together.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use qpgc_graph::traversal::bfs_reachable;
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
-use qpgc_serve::{CompressedStore, StoreConfig};
+use qpgc_serve::{ShardedStore, StoreConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,10 +60,10 @@ fn run(config: StoreConfig, seed: u64) {
         states.push(next);
     }
 
-    let store = CompressedStore::new(base, config);
+    let store = ShardedStore::new(base, config);
     let done = AtomicBool::new(false);
 
-    // (version, from, to, answer) tuples recorded by each reader.
+    // (watermark, from, to, answer) tuples recorded by each reader.
     let mut observations: Vec<Vec<(u64, u32, u32, bool)>> = Vec::new();
     std::thread::scope(|s| {
         let reader_handles: Vec<_> = (0..READERS)
@@ -70,18 +74,27 @@ fn run(config: StoreConfig, seed: u64) {
                     let mut rng = StdRng::seed_from_u64(1000 + r as u64);
                     let mut seen: Vec<(u64, u32, u32, bool)> = Vec::new();
                     let mut passes_after_done = 0;
-                    // Keep reading until the writer is finished, then do one
-                    // final pass so the last published version is exercised.
+                    // Keep reading until the writer is finished, then one
+                    // final pass so the last watermark is exercised.
                     while passes_after_done < 2 {
                         if done.load(Ordering::Acquire) {
                             passes_after_done += 1;
                         }
-                        let snap = store.load();
+                        let cut = store.load();
+                        // The cut is internally consistent: every shard
+                        // snapshot sits at exactly the cut's watermark.
+                        for snap in cut.shard_snapshots() {
+                            assert_eq!(
+                                snap.version(),
+                                cut.watermark(),
+                                "torn cut: shard version behind the watermark"
+                            );
+                        }
                         for _ in 0..32 {
                             let u = rng.gen_range(0..NODES) as u32;
                             let v = rng.gen_range(0..NODES) as u32;
-                            let ans = snap.reachable(NodeId(u), NodeId(v));
-                            seen.push((snap.version(), u, v, ans));
+                            let ans = cut.reachable(NodeId(u), NodeId(v));
+                            seen.push((cut.watermark(), u, v, ans));
                         }
                     }
                     seen
@@ -89,7 +102,8 @@ fn run(config: StoreConfig, seed: u64) {
             })
             .collect();
 
-        // Writer: apply every batch with a pause so readers interleave.
+        // Router: apply every batch with a pause so readers interleave
+        // with the concurrent shard writers and the watermark bump.
         for batch in &batches {
             store.apply(batch);
             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -101,29 +115,25 @@ fn run(config: StoreConfig, seed: u64) {
         }
     });
 
-    // Every concurrent answer matches BFS on the graph version its snapshot
-    // advertised — the consistency contract.
+    // Every concurrent answer matches BFS on the graph version its cut's
+    // watermark advertised — the no-torn-cut contract.
     let mut checked = 0usize;
-    let mut versions_seen: Vec<u64> = Vec::new();
     for seen in &observations {
-        for &(version, u, v, ans) in seen {
-            let oracle = &states[version as usize];
+        for &(watermark, u, v, ans) in seen {
+            let oracle = &states[watermark as usize];
             assert_eq!(
                 ans,
                 bfs_reachable(oracle, NodeId(u), NodeId(v)),
-                "reader answer diverged from BFS at version {version} for ({u},{v})"
+                "reader answer diverged from BFS at watermark {watermark} for ({u},{v})"
             );
             checked += 1;
-            versions_seen.push(version);
         }
     }
     assert!(checked > 0);
-    versions_seen.sort_unstable();
-    versions_seen.dedup();
 
-    // The final snapshot is the fully-updated state.
+    // The final cut is the fully-updated state.
     let last = store.load();
-    assert_eq!(last.version(), BATCHES as u64);
+    assert_eq!(last.watermark(), BATCHES as u64);
     let final_state = states.last().expect("non-empty");
     for u in final_state.nodes() {
         for w in final_state.nodes() {
@@ -133,14 +143,22 @@ fn run(config: StoreConfig, seed: u64) {
 }
 
 #[test]
-fn readers_only_see_consistent_snapshots_bfs_backed() {
-    run(StoreConfig::default(), 7);
+fn readers_never_see_torn_cuts_two_shards() {
+    run(StoreConfig::builder().shards(2).build(), 23);
 }
 
 #[test]
-fn readers_only_see_consistent_snapshots_two_hop_backed() {
+fn readers_never_see_torn_cuts_four_shards_two_hop() {
     run(
-        StoreConfig::builder().two_hop(Default::default()).build(),
-        19,
+        StoreConfig::builder()
+            .shards(4)
+            .two_hop(Default::default())
+            .build(),
+        29,
     );
+}
+
+#[test]
+fn one_shard_router_is_concurrent_too() {
+    run(StoreConfig::default(), 31);
 }

@@ -97,10 +97,12 @@ fn run_stream(
 ) -> Vec<ApplyPath> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = random_graph(&mut rng, 22, dag);
-    let config = |threshold: f64| StoreConfig {
-        two_hop: two_hop.then(Default::default),
-        damage_threshold: threshold,
-        ..StoreConfig::default()
+    let config = |threshold: f64| {
+        let mut builder = StoreConfig::builder().damage_threshold(threshold);
+        if two_hop {
+            builder = builder.two_hop(Default::default());
+        }
+        builder.build()
     };
     let delta_store = CompressedStore::new(g.clone(), config(damage_threshold));
     let full_store = CompressedStore::new(g.clone(), config(0.0));
@@ -281,10 +283,11 @@ fn pattern_queries() -> Vec<Pattern> {
 fn run_pattern_stream(seed: u64, insert_bias: f64, damage_threshold: f64) -> usize {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = random_labeled_graph(&mut rng, 18);
-    let config = |threshold: f64| StoreConfig {
-        serve_patterns: true,
-        damage_threshold: threshold,
-        ..StoreConfig::default()
+    let config = |threshold: f64| {
+        StoreConfig::builder()
+            .patterns(true)
+            .damage_threshold(threshold)
+            .build()
     };
     let delta_store = CompressedStore::new(g.clone(), config(damage_threshold));
     let full_store = CompressedStore::new(g.clone(), config(0.0));
@@ -380,20 +383,16 @@ fn damage_threshold_boundary_at_equality_patches() {
         let batch = random_batch(&mut rng, g.node_count(), 3, 0.5, false);
         let probe = CompressedStore::new(
             g.clone(),
-            StoreConfig {
-                damage_threshold: f64::INFINITY,
-                ..StoreConfig::default()
-            },
+            StoreConfig::builder()
+                .damage_threshold(f64::INFINITY)
+                .build(),
         );
         let ApplyPath::Patched { churn, .. } = probe.apply(&batch).path else {
             continue; // quiet batch; nothing to pin
         };
         let at_equality = CompressedStore::new(
             g.clone(),
-            StoreConfig {
-                damage_threshold: churn,
-                ..StoreConfig::default()
-            },
+            StoreConfig::builder().damage_threshold(churn).build(),
         );
         assert!(
             matches!(at_equality.apply(&batch).path, ApplyPath::Patched { .. }),
@@ -401,10 +400,9 @@ fn damage_threshold_boundary_at_equality_patches() {
         );
         let just_below = CompressedStore::new(
             g,
-            StoreConfig {
-                damage_threshold: churn * 0.999,
-                ..StoreConfig::default()
-            },
+            StoreConfig::builder()
+                .damage_threshold(churn * 0.999)
+                .build(),
         );
         assert!(
             matches!(just_below.apply(&batch).path, ApplyPath::Rebuilt { .. }),
@@ -424,11 +422,10 @@ fn long_patch_chains_stay_consistent() {
     let mut g = random_graph(&mut rng, 18, false);
     let store = CompressedStore::new(
         g.clone(),
-        StoreConfig {
-            two_hop: Some(Default::default()),
-            damage_threshold: f64::INFINITY,
-            ..StoreConfig::default()
-        },
+        StoreConfig::builder()
+            .two_hop(Default::default())
+            .damage_threshold(f64::INFINITY)
+            .build(),
     );
     for step in 0..12 {
         let count = rng.gen_range(1..4);
