@@ -1,8 +1,8 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_6.json
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_5.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_7.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_6.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
@@ -16,7 +16,7 @@
 use qpgc_bench::perf::{compare_report, perf_snapshot};
 
 fn main() {
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut compare_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -113,6 +113,18 @@ fn main() {
         eprintln!(
             "  store_sharding latency @ {} shard(s), cross_shard={}: {} queries in {:.3} ms ({:.0} qps)",
             row.shard_count, row.cross_shard, row.queries, row.elapsed_ms, row.qps
+        );
+    }
+    for row in &snap.robustness {
+        eprintln!(
+            "  robustness {} (1/{}): guard {:.3} ms of {:.3} ms apply ({:.3}% overhead), logged {:.3} ms, replay {:.1} batches/s",
+            row.dataset,
+            row.scale,
+            row.guard_ms,
+            row.apply_ms,
+            row.overhead_pct,
+            row.logged_ms,
+            row.replay_batches_per_sec
         );
     }
 

@@ -74,12 +74,25 @@
 //!   the boundary summary — the overhead of composition is the recorded
 //!   number.
 //!
+//! Since PR 7 (`BENCH_7.json`, **schema v6** — a superset of v5) a
+//! `robustness` section prices the fault-tolerant apply pipeline:
+//!
+//! * per dataset (citHepTh and wikiTalk emulations), the wall-clock of the
+//!   **guard work** the pipeline added to the no-fault path — per-batch
+//!   validation plus the rollback-inverse normalization — measured in
+//!   isolation and reported as `overhead_pct` of the full apply stream
+//!   (target: < 3 %);
+//! * the same stream with the write-behind [`qpgc_serve::UpdateLog`]
+//!   attached (`logged_ms`), and crash-recovery **replay throughput**
+//!   (`replay_batches_per_sec`) — `recover_from_log` rebuilding the store
+//!   from the log, differentially spot-checked against the live store.
+//!
 //! Produce a snapshot with:
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_6.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_7.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json   # CI smoke
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_5.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_6.json
 //! ```
 //!
 //! `--compare` prints a per-phase regression table against a previously
@@ -285,7 +298,8 @@ fn store_sharding_section(scale: usize) -> StoreShardingSection {
     for shards in [1usize, 2, 4] {
         let part = NodePartition::new(shards);
         let cross_edges = boundary_edges(&g, &part).len();
-        let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build());
+        let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build())
+            .expect("valid sharded config");
         let mut publish_ms = 0.0;
         let mut updates = 0usize;
         let t = Instant::now();
@@ -347,6 +361,125 @@ fn store_sharding_section(scale: usize) -> StoreShardingSection {
     }
 }
 
+/// One dataset's fault-tolerance pricing row (the `robustness` section,
+/// schema v6).
+#[derive(Clone, Debug)]
+pub struct RobustnessRow {
+    /// Dataset emulation the stream ran over.
+    pub dataset: String,
+    /// Scale divisor of the emulation.
+    pub scale: usize,
+    /// Node count of the data graph.
+    pub nodes: usize,
+    /// Edge count of the data graph.
+    pub edges: usize,
+    /// Number of update batches in the stream.
+    pub batches: usize,
+    /// Updates per batch.
+    pub batch_size: usize,
+    /// Total `try_apply` wall-clock for the stream — the production
+    /// no-fault path, validation and staged publication included.
+    pub apply_ms: f64,
+    /// Wall-clock of the work the fault-tolerant pipeline *added* to that
+    /// path: per-batch validation plus the rollback-inverse normalization,
+    /// measured in isolation against the same evolving graph.
+    pub guard_ms: f64,
+    /// `100 · guard_ms / apply_ms` — the no-fault-path overhead (%).
+    pub overhead_pct: f64,
+    /// Stream wall-clock with the write-behind update log attached.
+    pub logged_ms: f64,
+    /// Crash-recovery throughput: `recover_from_log` replaying the whole
+    /// log (base graph load + every batch through the normal apply
+    /// pipeline), in batches per second.
+    pub replay_batches_per_sec: f64,
+}
+
+/// Prices the fault-tolerant apply pipeline on one dataset emulation: the
+/// guard work added to the no-fault path, the write-behind log's cost, and
+/// crash-recovery replay throughput. The recovered store is differentially
+/// spot-checked against the live one before the row is emitted.
+fn robustness_row(name: &str, scale: usize, batches: usize) -> RobustnessRow {
+    let g = dataset(name, scale, 0).expect("known dataset");
+    let nodes = g.node_count();
+    let edges = g.edge_count();
+    let batch_size = (edges / 500).max(4);
+
+    // One pre-generated cone-local stream, replayed by every measurement.
+    let mut stream: Vec<UpdateBatch> = Vec::with_capacity(batches);
+    {
+        let mut evolving = g.clone();
+        for i in 0..batches {
+            let batch = local_batch(&evolving, batch_size, 8, 0x0DD + i as u64);
+            batch.apply_to(&mut evolving);
+            stream.push(batch);
+        }
+    }
+
+    // The guard work the pipeline added to every no-fault apply:
+    // validation plus the rollback-inverse normalization, measured against
+    // the same evolving graph the store's writer sees.
+    let mut guard_ms = 0.0;
+    {
+        let mut evolving = g.clone();
+        for batch in &stream {
+            let t = Instant::now();
+            batch.validate(evolving.node_count()).expect("clean stream");
+            std::hint::black_box(batch.normalized(&evolving));
+            guard_ms += ms(t);
+            batch.apply_to(&mut evolving);
+        }
+    }
+
+    let store = CompressedStore::new(g.clone(), StoreConfig::default());
+    let t = Instant::now();
+    for batch in &stream {
+        store.try_apply(batch).expect("clean stream applies");
+    }
+    let apply_ms = ms(t);
+
+    let log_path = std::env::temp_dir().join(format!(
+        "qpgc_bench_robustness_{}_{name}.log",
+        std::process::id()
+    ));
+    let logged = CompressedStore::new_with_log(g.clone(), StoreConfig::default(), &log_path)
+        .expect("log creation succeeds");
+    let t = Instant::now();
+    for batch in &stream {
+        logged.try_apply(batch).expect("clean stream applies");
+    }
+    let logged_ms = ms(t);
+
+    let t = Instant::now();
+    let recovered = CompressedStore::recover_from_log(&log_path, StoreConfig::default())
+        .expect("replay succeeds");
+    let replay_ms = ms(t);
+    assert_eq!(recovered.version(), batches as u64);
+    let live = store.load();
+    let replayed = recovered.load();
+    for &(u, w) in &random_pairs(&g, 500, 23) {
+        assert_eq!(
+            live.reachable(u, w),
+            replayed.reachable(u, w),
+            "{name}: recovered store disagrees with the live one on ({u}, {w})"
+        );
+    }
+    let _ = std::fs::remove_file(&log_path);
+
+    RobustnessRow {
+        dataset: name.to_string(),
+        scale,
+        nodes,
+        edges,
+        batches,
+        batch_size,
+        apply_ms,
+        guard_ms,
+        overhead_pct: 100.0 * guard_ms / apply_ms.max(1e-9),
+        logged_ms,
+        replay_batches_per_sec: batches as f64 / (replay_ms / 1e3).max(1e-9),
+    }
+}
+
 /// One perf snapshot: per-phase wall-clock on the citHepTh-scale graph plus
 /// the per-dataset heap comparison.
 #[derive(Clone, Debug)]
@@ -390,6 +523,8 @@ pub struct PerfSnapshot {
     pub snapshot_incremental: Vec<SnapshotIncRow>,
     /// Sharded-store throughput and latency rows (schema v5).
     pub store_sharding: StoreShardingSection,
+    /// Fault-tolerance pricing rows (schema v6).
+    pub robustness: Vec<RobustnessRow>,
 }
 
 /// Drives a seeded **cone-local** update stream (each batch 0.1 % of the
@@ -697,6 +832,13 @@ pub fn perf_snapshot(scale: usize) -> PerfSnapshot {
     // Multi-writer scaling of the sharded router (schema v5).
     let store_sharding = store_sharding_section(scale);
 
+    // Fault-tolerance pricing: guard overhead on the no-fault path and
+    // crash-recovery replay throughput (schema v6).
+    let robustness = vec![
+        robustness_row("citHepTh", scale.max(10), 6),
+        robustness_row("wikiTalk", scale.max(25), 6),
+    ];
+
     PerfSnapshot {
         scale,
         dataset: "citHepTh".into(),
@@ -716,6 +858,7 @@ pub fn perf_snapshot(scale: usize) -> PerfSnapshot {
         two_hop_entries,
         snapshot_incremental,
         store_sharding,
+        robustness,
     }
 }
 
@@ -726,7 +869,7 @@ impl PerfSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"qpgc-perf-snapshot-v5\",\n");
+        out.push_str("  \"schema\": \"qpgc-perf-snapshot-v6\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
         out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
@@ -844,7 +987,30 @@ impl PerfSnapshot {
             ));
         }
         out.push_str("    ]\n");
-        out.push_str("  }\n");
+        out.push_str("  },\n");
+        out.push_str("  \"robustness\": [\n");
+        for (i, row) in self.robustness.iter().enumerate() {
+            let comma = if i + 1 == self.robustness.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"scale\": {}, \"nodes\": {}, \"edges\": {}, \"batches\": {}, \"batch_size\": {}, \"apply_ms\": {:.3}, \"guard_ms\": {:.3}, \"overhead_pct\": {:.3}, \"logged_ms\": {:.3}, \"replay_batches_per_sec\": {:.1}}}{comma}\n",
+                row.dataset,
+                row.scale,
+                row.nodes,
+                row.edges,
+                row.batches,
+                row.batch_size,
+                row.apply_ms,
+                row.guard_ms,
+                row.overhead_pct,
+                row.logged_ms,
+                row.replay_batches_per_sec,
+            ));
+        }
+        out.push_str("  ]\n");
         out.push_str("}\n");
         out
     }
@@ -977,6 +1143,7 @@ mod tests {
             two_hop_entries: Vec::new(),
             snapshot_incremental: Vec::new(),
             store_sharding: StoreShardingSection::default(),
+            robustness: Vec::new(),
         };
         let prev = "\"phases_ms\": {\n  \"build\": 40.0,\n  \"old_phase\": 2.0\n}";
         let report = compare_report(prev, &snap);
@@ -1014,7 +1181,7 @@ mod tests {
         assert_eq!(snap.heap_scale, 400);
         let json = snap.to_json();
         for key in [
-            "\"schema\": \"qpgc-perf-snapshot-v5\"",
+            "\"schema\": \"qpgc-perf-snapshot-v6\"",
             "\"phases_ms\"",
             "\"bisim_csr\"",
             "\"bisim_speedup\"",
@@ -1030,6 +1197,9 @@ mod tests {
             "\"store_sharding\"",
             "\"shard_count\"",
             "\"cross_shard\"",
+            "\"robustness\"",
+            "\"overhead_pct\"",
+            "\"replay_batches_per_sec\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1226,6 +1396,35 @@ mod tests {
                 best > single,
                 "sharded apply ({best:.0} upd/s) not faster than single writer ({single:.0} upd/s)"
             );
+        }
+
+        // Robustness pricing: one row per emulation, every measurement
+        // positive; the recovery differential already ran in-experiment.
+        assert_eq!(snap.robustness.len(), 2);
+        assert_eq!(snap.robustness[0].dataset, "citHepTh");
+        assert_eq!(snap.robustness[1].dataset, "wikiTalk");
+        for row in &snap.robustness {
+            assert!(row.batches > 0 && row.batch_size > 0);
+            assert!(row.apply_ms > 0.0 && row.logged_ms > 0.0);
+            assert!(row.guard_ms >= 0.0);
+            assert!(
+                row.replay_batches_per_sec > 0.0,
+                "{}: zero replay throughput",
+                row.dataset
+            );
+        }
+        if std::env::var("QPGC_TIMING_TESTS").is_ok() {
+            // The acceptance target: validation + rollback-inverse staging
+            // must stay under 3 % of the no-fault apply path. Wall-clock
+            // ratio, so opt-in like the other timing claims.
+            for row in &snap.robustness {
+                assert!(
+                    row.overhead_pct < 3.0,
+                    "{}: guard overhead {:.2}% exceeds the 3% target",
+                    row.dataset,
+                    row.overhead_pct
+                );
+            }
         }
     }
 }

@@ -82,6 +82,46 @@ impl MaintainedReachability {
     pub fn stable_quotient(&self) -> StableQuotient {
         self.inc.stable_quotient()
     }
+
+    /// Restores the maintained state after a *failed* (panicked or aborted)
+    /// application of the normalized batch `norm` — the panic-isolation
+    /// half of a fault-tolerant store.
+    ///
+    /// The incremental algorithm mutates the data graph at one point
+    /// (`norm.apply_to`, all-or-mostly-nothing) before touching the
+    /// partition state, but a panic can in principle interrupt anywhere, so
+    /// recovery checks each normalized update individually: a normalized
+    /// update by construction *changes* the edge set, so the edge's current
+    /// presence tells exactly whether that update took effect, and only
+    /// effective updates are inverted. The partition state is then rebuilt
+    /// by recompressing the restored graph — a from-scratch cost paid only
+    /// on the failure path.
+    ///
+    /// Recompression assigns **fresh stable ids**; callers that patched
+    /// derived structures keyed by the old ids (served snapshots) must
+    /// rebuild those structures from scratch on the next publication
+    /// instead of patching.
+    pub fn recover_from_failed(&mut self, norm: &UpdateBatch) {
+        undo_effective(&mut self.graph, norm);
+        self.inc = IncrementalReach::new(&self.graph);
+    }
+}
+
+/// Reverts the updates of a *normalized* batch that actually took effect:
+/// a normalized insert's edge is present iff the insert ran, and a
+/// normalized delete's edge is absent iff the delete ran (normalization
+/// guarantees one net update per edge, so the per-edge check is exact).
+fn undo_effective(g: &mut LabeledGraph, norm: &UpdateBatch) {
+    for u in norm.updates().iter().rev() {
+        let (a, b) = u.edge();
+        if u.is_insert() {
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            }
+        } else if !g.has_edge(a, b) {
+            g.add_edge(a, b);
+        }
+    }
 }
 
 /// A data graph plus its incrementally-maintained pattern-preserving
@@ -157,6 +197,15 @@ impl MaintainedPattern {
     /// pure waste on the patch path.
     pub fn stable_quotient_without_members(&self) -> StablePatternQuotient {
         self.inc.stable_quotient_without_members()
+    }
+
+    /// Restores the maintained state after a failed application of the
+    /// normalized batch `norm` — the bisimulation-side mirror of
+    /// [`MaintainedReachability::recover_from_failed`], with the same
+    /// fresh-stable-ids caveat.
+    pub fn recover_from_failed(&mut self, norm: &UpdateBatch) {
+        undo_effective(&mut self.graph, norm);
+        self.inc = IncrementalPattern::new(&self.graph);
     }
 }
 

@@ -1,0 +1,287 @@
+//! # qpgc_fault — deterministic failpoint injection
+//!
+//! Fault-tolerance claims are only as good as the faults they were tested
+//! against. This crate provides *failpoints*: named sites in the serving
+//! pipeline ([`fail_point!`]) that a test can arm to panic on a chosen hit,
+//! exercising the exact recovery paths (panic isolation, staged-state
+//! rollback, crash-consistent log replay) that an unlucky production batch
+//! would.
+//!
+//! ## Design
+//!
+//! * **Zero cost when disabled.** Without the `failpoints` cargo feature,
+//!   [`eval`] is an empty inlined function and every helper degenerates to
+//!   a no-op — the instrumented crates carry the call sites unconditionally
+//!   and pay nothing for them. The feature is compiled into *this* crate
+//!   (the `fail_point!` macro expands to a call into it), so enabling it
+//!   from a test package lights up every site in the workspace build.
+//! * **Deterministic triggers.** A [`FaultPlan`] is a list of rules keyed
+//!   by `(site, nth-hit)`: the `nth` time (1-based) the named site is
+//!   evaluated under the plan, it panics with a recognizable payload
+//!   (`"failpoint `site` (hit n)"`). Hit counters are shared by every
+//!   thread that [`adopt`]s the plan, so a rule fires exactly once no
+//!   matter how many concurrent shard writers race through the site.
+//! * **Thread-local activation.** Plans are installed per thread
+//!   ([`install`]), so parallel tests cannot arm each other's sites. Code
+//!   that fans work out to scoped threads propagates the installing
+//!   thread's plan by capturing [`handle`] before the spawn and
+//!   [`adopt`]ing it inside each worker — the sharded store's apply path
+//!   does exactly this.
+//!
+//! ## Usage
+//!
+//! ```
+//! use qpgc_fault::{fail_point, FaultPlan};
+//!
+//! fn publish() {
+//!     qpgc_fault::fail_point!("doc/publish");
+//!     // ... the work the fault preempts ...
+//! }
+//!
+//! // Without the `failpoints` feature (the default), nothing fires:
+//! publish();
+//!
+//! // With it, a test arms the site and catches the induced panic:
+//! let _guard = qpgc_fault::install(FaultPlan::new().fail_at("doc/publish", 1));
+//! # #[cfg(feature = "failpoints")]
+//! assert!(std::panic::catch_unwind(publish).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Evaluates the failpoint `site`: panics iff the thread's active
+/// [`FaultPlan`] has a rule whose `nth` matches the site's hit count.
+/// Compiles to a no-op without the `failpoints` feature.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        $crate::eval($site)
+    };
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+
+    /// One armed failpoint plan: rules keyed by `(site, nth-hit)`.
+    #[derive(Clone, Debug, Default)]
+    pub struct FaultPlan {
+        rules: Vec<(String, u64)>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan (no site fires).
+        pub fn new() -> Self {
+            FaultPlan::default()
+        }
+
+        /// Arms `site` to panic on its `nth` evaluation (1-based) under
+        /// this plan.
+        pub fn fail_at(mut self, site: &str, nth: u64) -> Self {
+            assert!(nth >= 1, "hit counts are 1-based");
+            self.rules.push((site.to_string(), nth));
+            self
+        }
+    }
+
+    #[derive(Debug)]
+    struct Shared {
+        rules: Vec<(String, u64)>,
+        hits: Mutex<HashMap<String, u64>>,
+    }
+
+    /// A live, reference-counted fault plan. Cloning shares the hit
+    /// counters, which is what makes `(site, nth)` rules deterministic
+    /// across the scoped worker threads that [`adopt`](crate::adopt) it.
+    #[derive(Clone, Debug)]
+    pub struct FaultHandle(Arc<Shared>);
+
+    impl FaultHandle {
+        fn bump_and_check(&self, site: &str) {
+            if !self.0.rules.iter().any(|(s, _)| s == site) {
+                return;
+            }
+            let hit = {
+                let mut hits = self.0.hits.lock().unwrap_or_else(|e| e.into_inner());
+                let h = hits.entry(site.to_string()).or_insert(0);
+                *h += 1;
+                *h
+            };
+            if self.0.rules.iter().any(|(s, nth)| s == site && *nth == hit) {
+                panic!("failpoint `{site}` (hit {hit})");
+            }
+        }
+    }
+
+    thread_local! {
+        static ACTIVE: RefCell<Option<FaultHandle>> = const { RefCell::new(None) };
+    }
+
+    /// Clears the calling thread's plan when dropped, restoring whatever
+    /// was active before.
+    #[derive(Debug)]
+    pub struct InstallGuard {
+        previous: Option<FaultHandle>,
+    }
+
+    impl Drop for InstallGuard {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| *a.borrow_mut() = self.previous.take());
+        }
+    }
+
+    /// Installs `plan` as the calling thread's active plan for the guard's
+    /// lifetime.
+    pub fn install(plan: FaultPlan) -> InstallGuard {
+        let handle = FaultHandle(Arc::new(Shared {
+            rules: plan.rules,
+            hits: Mutex::new(HashMap::new()),
+        }));
+        let previous = ACTIVE.with(|a| a.borrow_mut().replace(handle));
+        InstallGuard { previous }
+    }
+
+    /// The calling thread's active plan, if any — capture it before
+    /// spawning workers and [`adopt`](crate::adopt) it inside each.
+    pub fn handle() -> Option<FaultHandle> {
+        ACTIVE.with(|a| a.borrow().clone())
+    }
+
+    /// Adopts a captured plan (hit counters shared with the installer) on
+    /// the calling thread for the guard's lifetime. `None` is a no-op
+    /// guard, so call sites need no conditionals.
+    pub fn adopt(handle: Option<FaultHandle>) -> InstallGuard {
+        let previous = match handle {
+            Some(h) => ACTIVE.with(|a| a.borrow_mut().replace(h)),
+            None => ACTIVE.with(|a| a.borrow().clone()),
+        };
+        InstallGuard { previous }
+    }
+
+    /// See [`fail_point!`](crate::fail_point).
+    pub fn eval(site: &str) {
+        if let Some(h) = ACTIVE.with(|a| a.borrow().clone()) {
+            h.bump_and_check(site);
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    /// One armed failpoint plan — inert without the `failpoints` feature.
+    #[derive(Clone, Debug, Default)]
+    pub struct FaultPlan;
+
+    impl FaultPlan {
+        /// An empty plan (no site fires).
+        pub fn new() -> Self {
+            FaultPlan
+        }
+
+        /// Arms `site` to panic on its `nth` evaluation — a no-op in this
+        /// build; enable the `failpoints` feature to make it live.
+        pub fn fail_at(self, _site: &str, _nth: u64) -> Self {
+            self
+        }
+    }
+
+    /// A live fault plan — inert without the `failpoints` feature.
+    #[derive(Clone, Debug)]
+    pub struct FaultHandle;
+
+    /// Inert guard.
+    #[derive(Debug)]
+    pub struct InstallGuard;
+
+    /// Installs `plan` — a no-op in this build.
+    pub fn install(_plan: FaultPlan) -> InstallGuard {
+        InstallGuard
+    }
+
+    /// Always `None` in this build.
+    pub fn handle() -> Option<FaultHandle> {
+        None
+    }
+
+    /// Inert adoption guard.
+    pub fn adopt(_handle: Option<FaultHandle>) -> InstallGuard {
+        InstallGuard
+    }
+
+    /// See [`fail_point!`](crate::fail_point) — a no-op in this build.
+    #[inline(always)]
+    pub fn eval(_site: &str) {}
+}
+
+pub use imp::{adopt, eval, handle, install, FaultHandle, FaultPlan, InstallGuard};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn payload(e: Box<dyn std::any::Any + Send>) -> String {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        eval("t/unarmed");
+        let _g = install(FaultPlan::new().fail_at("t/other", 1));
+        eval("t/unarmed");
+    }
+
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        let _g = install(FaultPlan::new().fail_at("t/nth", 3));
+        eval("t/nth");
+        eval("t/nth");
+        let err = catch_unwind(AssertUnwindSafe(|| eval("t/nth"))).unwrap_err();
+        assert_eq!(payload(err), "failpoint `t/nth` (hit 3)");
+        // Hit 4 and beyond pass again.
+        eval("t/nth");
+        eval("t/nth");
+    }
+
+    #[test]
+    fn plans_are_thread_local_but_counters_are_shared_on_adoption() {
+        let _g = install(FaultPlan::new().fail_at("t/shared", 2));
+        let captured = handle();
+        // A thread without the plan never fires.
+        std::thread::scope(|s| {
+            s.spawn(|| eval("t/shared")).join().unwrap();
+        });
+        // Two adopting threads share the counter: exactly one panics.
+        let results: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let h = captured.clone();
+                    s.spawn(move || {
+                        let _a = adopt(h);
+                        catch_unwind(AssertUnwindSafe(|| eval("t/shared"))).is_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results.iter().filter(|&&p| p).count(), 1);
+    }
+
+    #[test]
+    fn guard_restores_the_previous_plan() {
+        let _outer = install(FaultPlan::new().fail_at("t/outer", 1));
+        {
+            let _inner = install(FaultPlan::new());
+            eval("t/outer"); // inner plan has no rule for it
+        }
+        // Outer plan is active again (and its counter starts fresh: the
+        // inner evaluation ran under the inner plan).
+        assert!(catch_unwind(AssertUnwindSafe(|| eval("t/outer"))).is_err());
+    }
+}

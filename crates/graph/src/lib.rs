@@ -76,5 +76,5 @@ pub use ids::{Label, NodeId};
 pub use partition::NodePartition;
 pub use scc::Condensation;
 pub use stats::GraphStats;
-pub use update::{ClassBirth, EdgeDelta, PartitionDelta, Update, UpdateBatch};
+pub use update::{BatchError, ClassBirth, EdgeDelta, PartitionDelta, Update, UpdateBatch};
 pub use view::GraphView;

@@ -8,6 +8,7 @@
 //! keeps the incremental algorithms' affected areas honest.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::graph::LabeledGraph;
 use crate::ids::NodeId;
@@ -145,6 +146,109 @@ impl UpdateBatch {
             }
         }
         (ins, del)
+    }
+}
+
+/// Why an [`UpdateBatch`] was rejected by [`UpdateBatch::validate`].
+///
+/// Validation runs *before* any state is touched, so a rejected batch
+/// leaves graph, maintainers, and served snapshots exactly as they were.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// An update referenced a node id outside the store's node space.
+    /// Updates only rewire edges; the node set is fixed at construction.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the store's graph.
+        node_count: usize,
+    },
+    /// The same edge appears with *both* an insertion and a deletion in
+    /// one batch. The net effect would silently depend on update order —
+    /// almost always a producer bug — so stores reject the batch instead
+    /// of guessing.
+    ConflictingUpdates {
+        /// Source of the contested edge.
+        from: NodeId,
+        /// Target of the contested edge.
+        to: NodeId,
+    },
+    /// An insertion endpoint carries no label, on a store whose query
+    /// class needs labels (pattern/bisimulation serving). Reachability
+    /// ignores labels; bisimulation quotients are label-keyed, so an
+    /// unlabeled endpoint can never participate in a match and the insert
+    /// is rejected as meaningless.
+    UnlabeledEndpoint {
+        /// The label-less node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "update references node {node}, out of bounds for a store with {node_count} nodes"
+            ),
+            BatchError::ConflictingUpdates { from, to } => write!(
+                f,
+                "batch both inserts and deletes the edge ({from}, {to}); \
+                 resolve the conflict before applying"
+            ),
+            BatchError::UnlabeledEndpoint { node } => write!(
+                f,
+                "insertion endpoint {node} has no label, but the store serves label-keyed queries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl UpdateBatch {
+    /// Validates the batch against a store over `node_count` nodes:
+    ///
+    /// * every referenced node id must lie in `0..node_count` (updates
+    ///   rewire edges; they never grow the node set);
+    /// * no edge may appear with both an insertion and a deletion — the
+    ///   net effect would depend silently on update order.
+    ///
+    /// Returns the first violation in update order. `Ok(())` guarantees
+    /// the batch is safe to hand to the incremental maintainers.
+    pub fn validate(&self, node_count: usize) -> Result<(), BatchError> {
+        let mut kinds: HashMap<(NodeId, NodeId), bool> = HashMap::with_capacity(self.len());
+        for u in &self.updates {
+            let (a, b) = u.edge();
+            for node in [a, b] {
+                if node.index() >= node_count {
+                    return Err(BatchError::NodeOutOfBounds { node, node_count });
+                }
+            }
+            if *kinds.entry((a, b)).or_insert(u.is_insert()) != u.is_insert() {
+                return Err(BatchError::ConflictingUpdates { from: a, to: b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates that every *insertion* endpoint carries a non-empty label
+    /// in `g` — the extra check label-keyed (pattern-serving) stores run on
+    /// top of [`UpdateBatch::validate`]. Deletions pass: removing an edge
+    /// from an unlabeled node cannot corrupt a bisimulation quotient.
+    pub fn validate_labels(&self, g: &LabeledGraph) -> Result<(), BatchError> {
+        for u in &self.updates {
+            if !u.is_insert() {
+                continue;
+            }
+            let (a, b) = u.edge();
+            for node in [a, b] {
+                if g.label_name(node).is_none_or(str::is_empty) {
+                    return Err(BatchError::UnlabeledEndpoint { node });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -426,6 +530,70 @@ mod tests {
         assert_eq!(delta.merge_count(), 1); // birth 8 absorbs two origins
         assert_eq!(delta.added_ids(), vec![2, 5, 8]);
         assert!(PartitionDelta::default().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_ids() {
+        let mut b = UpdateBatch::new();
+        b.insert(NodeId(1), NodeId(7));
+        assert_eq!(
+            b.validate(4),
+            Err(BatchError::NodeOutOfBounds {
+                node: NodeId(7),
+                node_count: 4
+            })
+        );
+        assert_eq!(b.validate(8), Ok(()));
+        assert_eq!(UpdateBatch::new().validate(0), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_conflicting_updates_but_not_duplicates() {
+        let mut b = UpdateBatch::new();
+        b.insert(NodeId(0), NodeId(1));
+        b.insert(NodeId(0), NodeId(1)); // duplicate of the same kind: fine
+        b.delete(NodeId(1), NodeId(2));
+        assert_eq!(b.validate(3), Ok(()));
+        b.delete(NodeId(0), NodeId(1)); // now contradicts the insert
+        assert_eq!(
+            b.validate(3),
+            Err(BatchError::ConflictingUpdates {
+                from: NodeId(0),
+                to: NodeId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn validate_labels_rejects_unlabeled_insert_endpoints_only() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let bare = g.add_node_with_label("");
+        let mut ins = UpdateBatch::new();
+        ins.insert(a, bare);
+        assert_eq!(
+            ins.validate_labels(&g),
+            Err(BatchError::UnlabeledEndpoint { node: bare })
+        );
+        let mut del = UpdateBatch::new();
+        del.delete(a, bare);
+        assert_eq!(del.validate_labels(&g), Ok(()));
+    }
+
+    #[test]
+    fn batch_error_display() {
+        let e = BatchError::NodeOutOfBounds {
+            node: NodeId(9),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        let c = BatchError::ConflictingUpdates {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        assert!(c.to_string().contains("inserts and deletes"));
+        let u = BatchError::UnlabeledEndpoint { node: NodeId(2) };
+        assert!(u.to_string().contains("no label"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use qpgc_graph::{NodeId, UpdateBatch};
 
+use crate::error::StoreError;
 use crate::snapshot::Snapshot;
 use crate::store::{ApplyReport, CompressedStore};
 
@@ -65,9 +66,11 @@ impl ReachCut for Snapshot {
 /// * [`ReachStore::watermark`] is the version of the currently published
 ///   cut — monotonically increasing, bumped exactly once per applied
 ///   batch.
-/// * [`ReachStore::apply`] routes one [`UpdateBatch`] through incremental
-///   maintenance and publishes a fresh cut atomically; concurrent callers
-///   are serialized.
+/// * [`ReachStore::try_apply`] routes one [`UpdateBatch`] through
+///   incremental maintenance and publishes a fresh cut atomically;
+///   concurrent callers are serialized. **Atomic batch semantics**: on
+///   `Err` the store is exactly as before — watermark untouched, old cut
+///   still served, the next clean batch free to proceed.
 pub trait ReachStore {
     /// The cut type [`ReachStore::load`] publishes.
     type Cut: ReachCut;
@@ -81,8 +84,23 @@ pub trait ReachStore {
         self.load().version()
     }
 
-    /// Applies `ΔG` and atomically publishes a fresh cut.
-    fn apply(&self, batch: &UpdateBatch) -> ApplyReport;
+    /// Applies `ΔG` and atomically publishes a fresh cut — or rejects /
+    /// rolls back the batch, leaving the served cut bit-identical to
+    /// before.
+    fn try_apply(&self, batch: &UpdateBatch) -> Result<ApplyReport, StoreError>;
+
+    /// [`ReachStore::try_apply`] for callers that know their batches are
+    /// valid and inject no faults.
+    ///
+    /// # Panics
+    ///
+    /// When [`ReachStore::try_apply`] returns an error.
+    fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
+        match self.try_apply(batch) {
+            Ok(report) => report,
+            Err(e) => panic!("apply failed: {e}"),
+        }
+    }
 
     /// Answers one reachability query on the current cut.
     fn reachable(&self, u: NodeId, w: NodeId) -> bool {
@@ -104,8 +122,8 @@ impl ReachStore for CompressedStore {
         CompressedStore::version(self)
     }
 
-    fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
-        CompressedStore::apply(self, batch)
+    fn try_apply(&self, batch: &UpdateBatch) -> Result<ApplyReport, StoreError> {
+        CompressedStore::try_apply(self, batch)
     }
 
     fn bulk_reachable(&self, queries: &[(NodeId, NodeId)]) -> Vec<bool> {

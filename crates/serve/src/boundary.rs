@@ -55,10 +55,15 @@ impl BoundarySummary {
     /// watermark. Intra-shard summary edges are decided by
     /// [`Snapshot::reachable`] on representative pairs, so they are exact
     /// for the shard subgraph.
+    /// Summary-edge probes go through [`crate::bulk_reachable`] — one
+    /// batch per shard, sharded across `threads` workers (`0` =
+    /// `available_parallelism`) — so summary construction shares the
+    /// parallel bulk-evaluation path with store-level queries.
     pub(crate) fn build(
         snaps: &[Arc<Snapshot>],
         cross: impl Iterator<Item = (NodeId, NodeId)>,
         shard_of: impl Fn(NodeId) -> usize,
+        threads: usize,
     ) -> BoundarySummary {
         let mut nodes: Vec<(NodeId, usize)> = Vec::new();
         let mut index: HashMap<NodeId, usize> = HashMap::new();
@@ -79,13 +84,21 @@ impl BoundarySummary {
             adjacency[iu].push(iv);
         }
         // Summary edges: shard-local reachability between boundary nodes of
-        // the same shard, answered by that shard's snapshot.
-        for verts in &by_shard {
-            for &i in verts {
-                for &j in verts {
-                    if i != j && snaps[nodes[i].1].reachable(nodes[i].0, nodes[j].0) {
-                        adjacency[i].push(j);
-                    }
+        // the same shard, answered by that shard's snapshot via one bulk
+        // probe batch per shard.
+        for (shard, verts) in by_shard.iter().enumerate() {
+            let pairs: Vec<(usize, usize)> = verts
+                .iter()
+                .flat_map(|&i| verts.iter().filter(move |&&j| j != i).map(move |&j| (i, j)))
+                .collect();
+            let queries: Vec<(NodeId, NodeId)> = pairs
+                .iter()
+                .map(|&(i, j)| (nodes[i].0, nodes[j].0))
+                .collect();
+            let answers = crate::bulk::bulk_reachable(&*snaps[shard], &queries, threads);
+            for (&(i, j), yes) in pairs.iter().zip(answers) {
+                if yes {
+                    adjacency[i].push(j);
                 }
             }
         }
@@ -137,15 +150,32 @@ impl BoundarySummary {
         if self.nodes.is_empty() {
             return false;
         }
+        // Entry probes: can `u` shard-locally reach each boundary node of
+        // its shard? Batched through the bulk path (sequential at one
+        // thread — bridges sits on the per-query hot path).
+        let entry_queries: Vec<(NodeId, NodeId)> = self.by_shard[su]
+            .iter()
+            .map(|&i| (u, self.nodes[i].0))
+            .collect();
+        let entry = crate::bulk::bulk_reachable(&*snaps[su], &entry_queries, 1);
         let mut reached = FixedBitSet::with_capacity(self.nodes.len());
-        for &i in &self.by_shard[su] {
-            if !reached.contains(i) && snaps[su].reachable(u, self.nodes[i].0) {
+        for (&i, yes) in self.by_shard[su].iter().zip(entry) {
+            if yes {
                 reached.union_with(&self.closure[i]);
             }
         }
-        self.by_shard[sw]
+        // Exit probes, restricted to boundary nodes the closure walk
+        // actually reached.
+        let candidates: Vec<usize> = self.by_shard[sw]
             .iter()
-            .any(|&j| reached.contains(j) && snaps[sw].reachable(self.nodes[j].0, w))
+            .copied()
+            .filter(|&j| reached.contains(j))
+            .collect();
+        let exit_queries: Vec<(NodeId, NodeId)> =
+            candidates.iter().map(|&j| (self.nodes[j].0, w)).collect();
+        crate::bulk::bulk_reachable(&*snaps[sw], &exit_queries, 1)
+            .into_iter()
+            .any(|yes| yes)
     }
 
     /// Heap footprint, for capacity accounting next to

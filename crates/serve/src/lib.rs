@@ -83,16 +83,20 @@
 pub mod api;
 pub mod boundary;
 pub mod bulk;
+pub mod error;
 pub mod parallel;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use api::{ReachCut, ReachStore};
 pub use boundary::BoundarySummary;
 pub use bulk::bulk_reachable;
+pub use error::{LogError, StoreError};
 pub use sharded::{ShardedSnapshot, ShardedStore};
 pub use snapshot::Snapshot;
 pub use store::{
     ApplyPath, ApplyReport, CompressedStore, ShardApply, StoreConfig, StoreConfigBuilder,
 };
+pub use wal::{LogContents, UpdateLog};

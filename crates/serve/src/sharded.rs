@@ -13,16 +13,34 @@
 //! shards belong to no shard; they live in the router's cross-edge set and
 //! surface as the [`BoundarySummary`] of every published cut.
 //!
-//! [`ShardedStore::apply`] slices each batch by the partition
-//! ([`qpgc::sharding::slice_batch`]), hands every shard its slice on a
-//! scoped thread — `N` incremental maintenances and snapshot publications
-//! running concurrently — applies the cross-shard slice to the boundary
-//! edge set, and then performs the **watermark bump**: collect the `N`
-//! fresh shard snapshots, rebuild the boundary summary over them, and swap
-//! one [`ShardedSnapshot`] in atomically. Every shard receives its
-//! (possibly empty) slice of every batch, so shard versions always equal
-//! the router watermark and a cut is internally consistent by
+//! [`ShardedStore::try_apply`] runs **stage-then-commit**. It slices each
+//! batch by the partition ([`qpgc::sharding::slice_batch`]) and hands
+//! every shard its slice on a scoped thread — `N` incremental
+//! maintenances and successor-snapshot constructions running concurrently
+//! — but no shard *publishes* anything at this point: each returns a
+//! staged application while its served snapshot stays pre-batch. The
+//! router then applies the cross-shard slice to a **staged copy** of the
+//! boundary edge set and builds the boundary summary plus the successor
+//! [`ShardedSnapshot`] from the staged shard snapshots, still without
+//! publishing. Only when every shard and the boundary rebuild have
+//! succeeded does the commit happen: each shard swaps its snapshot in,
+//! the router adopts the staged cross-edge set, and one fresh cut is
+//! swapped in atomically at the bumped watermark. Every shard receives
+//! its (possibly empty) slice of every batch, so shard versions always
+//! equal the router watermark and a cut is internally consistent by
 //! construction.
+//!
+//! ## Failure semantics
+//!
+//! Every stage runs under `catch_unwind`. If any shard writer panics (or
+//! an injected failpoint fires), the router discards every cleanly staged
+//! sibling — each inverts its normalized slice and recompresses — leaves
+//! its own cross-edge set untouched, and returns
+//! [`StoreError::ShardFailed`] naming the failing shard; a fault in the
+//! router itself (slicing, boundary rebuild, cut assembly) reports
+//! [`StoreError::ROUTER`] as the shard index. Either way the old cut is
+//! still served, the watermark is unchanged, and the next clean batch
+//! proceeds normally.
 //!
 //! ## Consistency model
 //!
@@ -30,28 +48,37 @@
 //! watermark, `N` shard snapshots of exactly that version, and the
 //! boundary summary built from those same snapshots. Mid-apply states
 //! (some shards published, others not) are never visible: the cut swap
-//! happens once, after all shard writers have joined. A reader holding an
-//! old cut keeps a consistent pre-batch view, exactly like the
+//! happens once, after all shard writers have committed. A reader holding
+//! an old cut keeps a consistent pre-batch view, exactly like the
 //! single-store snapshot contract.
 //!
 //! ## Restrictions
 //!
-//! Pattern serving is rejected ([`ShardedStore::new`] panics on
-//! `serve_patterns`): a bisimulation quotient does not decompose over a
-//! node partition the way reachability does — a match relation can hinge
-//! on cross-shard edges — so patterns stay a single-store feature.
+//! Pattern serving is rejected ([`ShardedStore::new`] returns
+//! [`StoreError::PatternsUnsupported`]): a bisimulation quotient does not
+//! decompose over a node partition the way reachability does — a match
+//! relation can hinge on cross-shard edges — so patterns stay a
+//! single-store feature.
 
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
 use qpgc::sharding::slice_batch;
+use qpgc_fault::fail_point;
 use qpgc_graph::partition::split_graph;
 use qpgc_graph::{LabeledGraph, NodeId, NodePartition, UpdateBatch};
 use qpgc_reach::incremental::IncStats;
 
 use crate::boundary::BoundarySummary;
+use crate::error::{panic_cause, StoreError};
 use crate::snapshot::Snapshot;
-use crate::store::{ApplyPath, ApplyReport, CompressedStore, ShardApply, StoreConfig};
+use crate::store::{
+    lock_recover, read_recover, write_recover, ApplyPath, ApplyReport, CompressedStore, ShardApply,
+    StagedApply, StoreConfig,
+};
+use crate::wal::UpdateLog;
 
 /// One consistent cross-shard read cut: the router watermark, every
 /// shard's snapshot at exactly that version, and the boundary summary
@@ -119,6 +146,9 @@ struct Router {
     /// Live cross-shard edges, sorted for deterministic summary builds.
     cross: BTreeSet<(NodeId, NodeId)>,
     watermark: u64,
+    /// Optional write-behind redo log: appended once every shard and the
+    /// boundary rebuild have staged, just before the commit.
+    log: Option<UpdateLog>,
 }
 
 /// A hash-partitioned, multi-writer serving store.
@@ -133,6 +163,7 @@ struct Router {
 pub struct ShardedStore {
     config: StoreConfig,
     part: NodePartition,
+    node_count: usize,
     shards: Vec<CompressedStore>,
     router: Mutex<Router>,
     current: RwLock<Arc<ShardedSnapshot>>,
@@ -142,15 +173,15 @@ impl ShardedStore {
     /// Splits `g` by [`StoreConfig::shards`], compresses every shard
     /// subgraph concurrently, and publishes the version-0 cut.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// When `config.serve_patterns` is set — see the module docs.
-    pub fn new(g: LabeledGraph, config: StoreConfig) -> Self {
-        assert!(
-            !config.serve_patterns,
-            "pattern serving is not supported on a sharded store \
-             (bisimulation does not decompose over a node partition)"
-        );
+    /// [`StoreError::PatternsUnsupported`] when `config.serve_patterns` is
+    /// set — see the module docs.
+    pub fn new(g: LabeledGraph, config: StoreConfig) -> Result<Self, StoreError> {
+        if config.serve_patterns {
+            return Err(StoreError::PatternsUnsupported);
+        }
+        let node_count = g.node_count();
         let part = NodePartition::new(config.shards);
         let (subgraphs, boundary) = split_graph(&g, &part);
         let shard_config = StoreConfig {
@@ -168,17 +199,54 @@ impl ShardedStore {
                 .collect()
         });
         let cross: BTreeSet<(NodeId, NodeId)> = boundary.into_iter().collect();
-        let cut = Self::cut(&part, &shards, &cross, 0);
-        ShardedStore {
+        let cut = Self::cut(&part, &shards, &cross, 0, config.threads);
+        Ok(ShardedStore {
             config,
             part,
+            node_count,
             shards,
             router: Mutex::new(Router {
                 cross,
                 watermark: 0,
+                log: None,
             }),
             current: RwLock::new(Arc::new(cut)),
+        })
+    }
+
+    /// [`ShardedStore::new`] with a crash-consistent [`UpdateLog`] at
+    /// `path`: one router-level log (a base record of the full graph, one
+    /// record per committed batch), appended write-behind after every
+    /// shard and the boundary rebuild have staged.
+    /// [`ShardedStore::recover_from_log`] reconstructs an
+    /// answer-identical store from the file after a crash.
+    pub fn new_with_log<P: AsRef<Path>>(
+        g: LabeledGraph,
+        config: StoreConfig,
+        path: P,
+    ) -> Result<Self, StoreError> {
+        let log = UpdateLog::create(path, &g)?;
+        let store = Self::new(g, config)?;
+        lock_recover(&store.router).log = Some(log);
+        Ok(store)
+    }
+
+    /// Rebuilds a sharded store from the update log at `path`: reads the
+    /// base graph and every committed batch (tolerating a torn tail from a
+    /// crash mid-append) and replays the batches through the normal apply
+    /// pipeline. The recovered store answers queries identically to one
+    /// that applied the same committed prefix without crashing; it does
+    /// **not** keep writing to the log.
+    pub fn recover_from_log<P: AsRef<Path>>(
+        path: P,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let contents = UpdateLog::read(path)?;
+        let store = Self::new(contents.graph, config)?;
+        for batch in &contents.batches {
+            store.try_apply(batch)?;
         }
+        Ok(store)
     }
 
     /// The store's configuration.
@@ -195,7 +263,7 @@ impl ShardedStore {
     /// writers never mutate published cuts, the router only swaps in new
     /// ones.
     pub fn load(&self) -> Arc<ShardedSnapshot> {
-        self.current.read().expect("cut lock poisoned").clone()
+        read_recover(&self.current).clone()
     }
 
     /// Watermark of the currently published cut.
@@ -226,33 +294,170 @@ impl ShardedStore {
     /// [`ApplyReport::shards`]; its `publish_ms` spans the slowest shard
     /// publication **plus** the watermark bump, so it is end-to-end
     /// comparable with the single-store number.
+    /// # Panics
+    ///
+    /// On any [`StoreError`] — this is the legacy infallible surface;
+    /// fallible callers use [`ShardedStore::try_apply`].
     pub fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
-        let mut router = self.router.lock().expect("router lock poisoned");
-        let sliced = slice_batch(batch, &self.part);
-        let reports: Vec<ApplyReport> = std::thread::scope(|s| {
+        match self.try_apply(batch) {
+            Ok(report) => report,
+            Err(e) => panic!("apply failed: {e}"),
+        }
+    }
+
+    /// [`ShardedStore::apply`] with atomic batch semantics across shards:
+    /// the batch either fully applies on every shard and publishes one
+    /// cut, or no shard publishes anything — old cut still served,
+    /// watermark and cross-edge set untouched, the next clean batch free
+    /// to proceed. See the module docs for the stage-then-commit protocol
+    /// and failure semantics.
+    pub fn try_apply(&self, batch: &UpdateBatch) -> Result<ApplyReport, StoreError> {
+        let mut router = lock_recover(&self.router);
+        batch.validate(self.node_count)?;
+        let sliced = match catch_unwind(AssertUnwindSafe(|| {
+            fail_point!("sharded/slice");
+            slice_batch(batch, &self.part)
+        })) {
+            Ok(sliced) => sliced,
+            Err(payload) => {
+                return Err(StoreError::ShardFailed {
+                    shard: StoreError::ROUTER,
+                    cause: panic_cause(payload),
+                })
+            }
+        };
+
+        // Stage every shard concurrently; none publishes. The failpoint
+        // configuration of the calling thread is adopted by the scoped
+        // workers, so injected faults fire deterministically inside shard
+        // writers too.
+        let fault = qpgc_fault::handle();
+        let results: Vec<Result<StagedApply, StoreError>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
                 .zip(&sliced.per_shard)
-                .map(|(shard, slice)| s.spawn(move || shard.apply(slice)))
+                .map(|(shard, slice)| {
+                    let fault = fault.clone();
+                    s.spawn(move || {
+                        let _adopted = qpgc_fault::adopt(fault);
+                        fail_point!("shard/stage");
+                        shard.stage(slice)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard writer panicked"))
+                .map(|h| {
+                    // Defensive: stage catches its own panics, but a fault
+                    // on the worker before stage runs still unwinds the
+                    // thread — in which case that shard's writer was never
+                    // touched and needs no rollback.
+                    h.join().unwrap_or_else(|payload| {
+                        Err(StoreError::WriterFailed {
+                            cause: panic_cause(payload),
+                        })
+                    })
+                })
                 .collect()
         });
+
+        let mut staged: Vec<(usize, StagedApply)> = Vec::with_capacity(results.len());
+        let mut failed: Option<(usize, StoreError)> = None;
+        for (i, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(s) => staged.push((i, s)),
+                Err(e) if failed.is_none() => failed = Some((i, e)),
+                Err(_) => {}
+            }
+        }
+        if let Some((shard, e)) = failed {
+            self.discard_all(staged);
+            let cause = match e {
+                StoreError::WriterFailed { cause } => cause,
+                other => other.to_string(),
+            };
+            return Err(StoreError::ShardFailed { shard, cause });
+        }
+
+        // Stage the router's own successor state: cross-edge set, boundary
+        // summary, and the cut — all from staged (unpublished) snapshots.
+        let mut staged_cross = router.cross.clone();
         for u in sliced.cross.updates() {
             let (a, b) = u.edge();
             if u.is_insert() {
-                router.cross.insert((a, b));
+                staged_cross.insert((a, b));
             } else {
-                router.cross.remove(&(a, b));
+                staged_cross.remove(&(a, b));
             }
         }
-        router.watermark += 1;
+        let next = router.watermark + 1;
         let bump_start = std::time::Instant::now();
-        let cut = Self::cut(&self.part, &self.shards, &router.cross, router.watermark);
-        *self.current.write().expect("cut lock poisoned") = Arc::new(cut);
+        let snaps: Vec<Arc<Snapshot>> = staged.iter().map(|(_, s)| s.snapshot().clone()).collect();
+        debug_assert!(
+            snaps.iter().all(|s| s.version() == next),
+            "every shard receives every batch, so shard versions track the watermark"
+        );
+        let cut = match catch_unwind(AssertUnwindSafe(|| {
+            fail_point!("sharded/boundary");
+            let boundary = BoundarySummary::build(
+                &snaps,
+                staged_cross.iter().copied(),
+                |v| self.part.shard_of(v),
+                self.config.threads,
+            );
+            fail_point!("sharded/commit");
+            ShardedSnapshot {
+                watermark: next,
+                part: self.part,
+                shards: snaps.clone(),
+                boundary,
+            }
+        })) {
+            Ok(cut) => cut,
+            Err(payload) => {
+                self.discard_all(staged);
+                return Err(StoreError::ShardFailed {
+                    shard: StoreError::ROUTER,
+                    cause: panic_cause(payload),
+                });
+            }
+        };
+
+        if router.log.is_some() {
+            let append = catch_unwind(AssertUnwindSafe(|| {
+                router
+                    .log
+                    .as_mut()
+                    .expect("presence checked above")
+                    .append(batch)
+            }));
+            match append {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.discard_all(staged);
+                    return Err(StoreError::Log(e));
+                }
+                Err(payload) => {
+                    self.discard_all(staged);
+                    return Err(StoreError::ShardFailed {
+                        shard: StoreError::ROUTER,
+                        cause: panic_cause(payload),
+                    });
+                }
+            }
+        }
+
+        // Commit: every shard swaps its snapshot, the router adopts the
+        // staged cross-edge set, and the cut goes live — nothing on this
+        // path can fault.
+        let reports: Vec<ApplyReport> = staged
+            .into_iter()
+            .map(|(i, s)| self.shards[i].commit_staged(s))
+            .collect();
+        router.cross = staged_cross;
+        router.watermark = next;
+        *write_recover(&self.current) = Arc::new(cut);
         let bump_ms = bump_start.elapsed().as_secs_f64() * 1e3;
 
         let shards: Vec<ShardApply> = reports
@@ -277,8 +482,8 @@ impl ShardedStore {
                     .expect("churn is never NaN")
             })
             .expect("at least one shard");
-        ApplyReport {
-            version: router.watermark,
+        Ok(ApplyReport {
+            version: next,
             reach: reports
                 .iter()
                 .fold(IncStats::default(), |acc, r| sum_stats(acc, r.reach)),
@@ -286,6 +491,14 @@ impl ShardedStore {
             path,
             publish_ms: slowest + bump_ms,
             shards,
+        })
+    }
+
+    /// Discards every cleanly staged shard application — each shard rolls
+    /// its writer back to the pre-batch graph.
+    fn discard_all(&self, staged: Vec<(usize, StagedApply)>) {
+        for (i, s) in staged {
+            self.shards[i].discard_staged(s);
         }
     }
 
@@ -296,13 +509,15 @@ impl ShardedStore {
         shards: &[CompressedStore],
         cross: &BTreeSet<(NodeId, NodeId)>,
         watermark: u64,
+        threads: usize,
     ) -> ShardedSnapshot {
         let snaps: Vec<Arc<Snapshot>> = shards.iter().map(CompressedStore::load).collect();
         debug_assert!(
             snaps.iter().all(|s| s.version() == watermark),
             "every shard receives every batch, so shard versions track the watermark"
         );
-        let boundary = BoundarySummary::build(&snaps, cross.iter().copied(), |v| part.shard_of(v));
+        let boundary =
+            BoundarySummary::build(&snaps, cross.iter().copied(), |v| part.shard_of(v), threads);
         ShardedSnapshot {
             watermark,
             part: *part,
@@ -323,8 +538,8 @@ impl crate::api::ReachStore for ShardedStore {
         ShardedStore::watermark(self)
     }
 
-    fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
-        ShardedStore::apply(self, batch)
+    fn try_apply(&self, batch: &UpdateBatch) -> Result<ApplyReport, StoreError> {
+        ShardedStore::try_apply(self, batch)
     }
 
     fn bulk_reachable(&self, queries: &[(NodeId, NodeId)]) -> Vec<bool> {
@@ -394,7 +609,8 @@ mod tests {
     fn sharded_answers_are_bfs_exact_across_shard_counts() {
         for shards in [1usize, 2, 4] {
             let mut g = chain_with_fanout();
-            let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build());
+            let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build())
+                .unwrap();
             assert_eq!(store.shard_count(), shards);
             all_pairs_match_bfs(&store, &g);
 
@@ -418,7 +634,7 @@ mod tests {
     fn one_shard_router_matches_the_single_store() {
         let g = chain_with_fanout();
         let single = CompressedStore::new(g.clone(), StoreConfig::default());
-        let sharded = ShardedStore::new(g.clone(), StoreConfig::default());
+        let sharded = ShardedStore::new(g.clone(), StoreConfig::default()).unwrap();
         assert_eq!(sharded.load().boundary().vertex_count(), 0);
         for u in g.nodes() {
             for w in g.nodes() {
@@ -430,7 +646,7 @@ mod tests {
     #[test]
     fn old_cuts_stay_consistent_after_new_publications() {
         let g = chain_with_fanout();
-        let store = ShardedStore::new(g, StoreConfig::builder().shards(2).build());
+        let store = ShardedStore::new(g, StoreConfig::builder().shards(2).build()).unwrap();
         let before = store.load();
         assert!(before.reachable(NodeId(0), NodeId(23)));
         let mut batch = UpdateBatch::new();
@@ -446,18 +662,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pattern serving")]
-    fn pattern_serving_is_rejected() {
-        let _ = ShardedStore::new(
+    fn pattern_serving_is_rejected_as_an_error() {
+        let result = ShardedStore::new(
             chain_with_fanout(),
             StoreConfig::builder().shards(2).patterns(true).build(),
+        );
+        assert!(
+            matches!(result, Err(StoreError::PatternsUnsupported)),
+            "pattern serving on a sharded store must be a typed rejection"
         );
     }
 
     #[test]
     fn report_aggregates_shard_paths() {
         let g = chain_with_fanout();
-        let store = ShardedStore::new(g, StoreConfig::builder().shards(4).build());
+        let store = ShardedStore::new(g, StoreConfig::builder().shards(4).build()).unwrap();
         let mut batch = UpdateBatch::new();
         batch.delete(NodeId(3), NodeId(4));
         let report = store.apply(&batch);

@@ -1,8 +1,25 @@
 //! The concurrent store: one writer, any number of snapshot readers.
+//!
+//! ## Failure semantics
+//!
+//! Application is **stage-then-commit**: [`CompressedStore::try_apply`]
+//! validates the batch up front (rejections touch nothing), then runs
+//! maintenance and snapshot construction under `catch_unwind`. Only a
+//! fully staged application commits — swaps the snapshot `Arc` and bumps
+//! the version; a panic or log failure anywhere in between rolls the
+//! writer back to the pre-batch graph (inverting the normalized batch and
+//! recompressing) and returns a [`StoreError`] with the old snapshot still
+//! served and the watermark untouched. The recompression assigns fresh
+//! stable class ids, so the writer marks itself `rebuild_next` and the
+//! next successful publication builds from scratch instead of patching a
+//! snapshot whose ids no longer match.
 
-use std::sync::{Arc, Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use qpgc::maintenance::{MaintainedPattern, MaintainedReachability};
+use qpgc_fault::fail_point;
 use qpgc_graph::update::PartitionDelta;
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
 use qpgc_pattern::incremental::IncPatternStats;
@@ -10,7 +27,29 @@ use qpgc_pattern::view::PatternView;
 use qpgc_reach::incremental::IncStats;
 use qpgc_reach::two_hop::TwoHopConfig;
 
+use crate::error::{panic_cause, StoreError};
 use crate::snapshot::Snapshot;
+use crate::wal::UpdateLog;
+
+/// `Mutex::lock` with poison recovery: a poisoned lock means some earlier
+/// holder panicked, but the apply pipeline catches every panic *before*
+/// the guard drops and rolls the state back, so the inner value is always
+/// the last consistent (pre-batch) state — recover it instead of
+/// propagating the poison to readers.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `RwLock::read` with poison recovery — published `Arc`s are immutable,
+/// so the last published value is always safe to serve.
+pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `RwLock::write` with poison recovery, for the publication pointer swap.
+pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of a serving store ([`CompressedStore`] or
 /// [`ShardedStore`](crate::sharded::ShardedStore)).
@@ -269,6 +308,40 @@ struct Writer {
     reach: MaintainedReachability,
     pattern: Option<MaintainedPattern>,
     version: u64,
+    /// Set when a failed application was rolled back by recompressing: the
+    /// recompression assigned fresh stable class ids, so the previous
+    /// snapshot is no longer a valid patch baseline and the next
+    /// publication must build from scratch (cleared on commit).
+    rebuild_next: bool,
+    /// Optional write-behind redo log: appended once a batch has fully
+    /// staged, just before commit.
+    log: Option<UpdateLog>,
+}
+
+/// A fully staged but uncommitted application: the batch has run through
+/// maintenance and the successor snapshot is built, but nothing is
+/// published — the served snapshot and version are still pre-batch.
+/// [`CompressedStore::commit_staged`] publishes it;
+/// [`CompressedStore::discard_staged`] rolls the writer back instead
+/// (the sharded router discards every shard when any one fails).
+pub(crate) struct StagedApply {
+    snapshot: Arc<Snapshot>,
+    version: u64,
+    reach: IncStats,
+    pattern: Option<IncPatternStats>,
+    path: ApplyPath,
+    build_ms: f64,
+    /// The batch normalized against the pre-batch graph — what
+    /// [`MaintainedReachability::recover_from_failed`] needs to invert the
+    /// application exactly on the discard path.
+    norm: UpdateBatch,
+}
+
+impl StagedApply {
+    /// The staged successor snapshot (not yet served).
+    pub(crate) fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
 }
 
 /// A concurrently-served, incrementally-maintained compressed graph store.
@@ -315,9 +388,46 @@ impl CompressedStore {
                 reach,
                 pattern,
                 version: 0,
+                rebuild_next: false,
+                log: None,
             }),
             current: RwLock::new(Arc::new(snapshot)),
         }
+    }
+
+    /// [`CompressedStore::new`] with a crash-consistent [`UpdateLog`] at
+    /// `path`: the log is created (truncating any previous file) with a
+    /// base record of `g`, and every subsequently committed batch is
+    /// appended write-behind — once a batch has fully staged, just before
+    /// the snapshot swap. [`CompressedStore::recover_from_log`]
+    /// reconstructs an answer-identical store from the file after a crash.
+    pub fn new_with_log<P: AsRef<Path>>(
+        g: LabeledGraph,
+        config: StoreConfig,
+        path: P,
+    ) -> Result<Self, StoreError> {
+        let log = UpdateLog::create(path, &g)?;
+        let store = Self::new(g, config);
+        lock_recover(&store.writer).log = Some(log);
+        Ok(store)
+    }
+
+    /// Rebuilds a store from the update log at `path`: reads the base
+    /// graph and every committed batch (tolerating a torn tail from a
+    /// crash mid-append) and replays the batches through the normal apply
+    /// pipeline. The recovered store answers queries identically to one
+    /// that applied the same committed prefix without crashing; it does
+    /// **not** keep writing to the log.
+    pub fn recover_from_log<P: AsRef<Path>>(
+        path: P,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let contents = UpdateLog::read(path)?;
+        let store = Self::new(contents.graph, config);
+        for batch in &contents.batches {
+            store.try_apply(batch)?;
+        }
+        Ok(store)
     }
 
     /// The store's configuration.
@@ -328,7 +438,7 @@ impl CompressedStore {
     /// The current snapshot. Hold it as long as you like — the writer never
     /// mutates published snapshots, it only swaps in new ones.
     pub fn load(&self) -> Arc<Snapshot> {
-        self.current.read().expect("snapshot lock poisoned").clone()
+        read_recover(&self.current).clone()
     }
 
     /// Version of the currently published snapshot.
@@ -364,80 +474,225 @@ impl CompressedStore {
     /// side did. [`ApplyReport::path`] records both decisions.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
+    ///
+    /// # Panics
+    ///
+    /// On any [`StoreError`] — this is the legacy infallible surface for
+    /// callers that know their batches are valid and inject no faults;
+    /// fallible callers use [`CompressedStore::try_apply`].
     pub fn apply(&self, batch: &UpdateBatch) -> ApplyReport {
-        let mut w = self.writer.lock().expect("writer lock poisoned");
-        let (reach_stats, delta) = w.reach.apply_with_delta(batch);
-        let pattern_result = w.pattern.as_mut().map(|p| p.apply_with_delta(batch));
-        let pattern_stats = pattern_result.as_ref().map(|&(stats, _)| stats);
-        w.version += 1;
-        let publish_start = std::time::Instant::now();
-        let prev = self.load();
-        let (pattern_view, pattern_churn, pattern_patched) = match (&w.pattern, &pattern_result) {
-            (Some(p), Some((_, pdelta))) => self.derive_pattern_view(&prev, p, pdelta),
-            _ => (None, None, false),
-        };
-        let (snapshot, path) = if delta.is_empty() {
-            let snapshot = Snapshot::republish(&prev, w.version, pattern_view);
-            // Name the path after what actually happened to the pattern
-            // view: row-patched → Patched, rebuilt past the gate → Rebuilt
-            // (both with reachability churn 0.0 — that side was carried
-            // over verbatim), untouched → Republished.
-            let path = match pattern_churn {
-                None => ApplyPath::Republished,
-                Some(_) if pattern_patched => ApplyPath::Patched {
-                    churn: 0.0,
-                    two_hop_patched: false,
-                    pattern_churn,
-                    pattern_patched,
-                },
-                Some(_) => ApplyPath::Rebuilt {
-                    churn: 0.0,
-                    pattern_churn,
-                    pattern_patched,
-                },
+        match self.try_apply(batch) {
+            Ok(report) => report,
+            Err(e) => panic!("apply failed: {e}"),
+        }
+    }
+
+    /// [`CompressedStore::apply`] with atomic batch semantics: the batch
+    /// either fully applies and publishes, or the store is left exactly as
+    /// before — watermark untouched, old snapshot still served, the next
+    /// clean batch free to proceed.
+    ///
+    /// The pipeline is stage-then-commit. Validation
+    /// ([`UpdateBatch::validate`], plus [`UpdateBatch::validate_labels`]
+    /// when patterns are served) rejects malformed batches before any
+    /// state is touched. Maintenance and snapshot construction then run
+    /// under `catch_unwind`; a panic rolls the writer back to the
+    /// pre-batch graph (inverting the normalized batch, recompressing, and
+    /// forcing the next publication to build from scratch — the
+    /// recompression's fresh stable ids invalidate the patch baseline) and
+    /// surfaces as [`StoreError::WriterFailed`]. When the store carries an
+    /// [`UpdateLog`], the batch is appended write-behind after staging;
+    /// only then does the commit swap the snapshot and bump the version.
+    ///
+    /// [`UpdateBatch::validate`]: qpgc_graph::UpdateBatch::validate
+    /// [`UpdateBatch::validate_labels`]: qpgc_graph::UpdateBatch::validate_labels
+    pub fn try_apply(&self, batch: &UpdateBatch) -> Result<ApplyReport, StoreError> {
+        let mut w = lock_recover(&self.writer);
+        let staged = self.stage_locked(&mut w, batch)?;
+        if w.log.is_some() {
+            let append = catch_unwind(AssertUnwindSafe(|| {
+                w.log
+                    .as_mut()
+                    .expect("presence checked above")
+                    .append(batch)
+            }));
+            match append {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.recover_writer(&mut w, &staged.norm);
+                    return Err(StoreError::Log(e));
+                }
+                Err(payload) => {
+                    self.recover_writer(&mut w, &staged.norm);
+                    return Err(StoreError::WriterFailed {
+                        cause: panic_cause(payload),
+                    });
+                }
+            }
+        }
+        Ok(self.commit_locked(&mut w, staged))
+    }
+
+    /// Stages `batch` without publishing — the per-shard half of the
+    /// sharded router's stage-then-commit protocol. On success nothing is
+    /// served yet (the caller decides between [`CompressedStore::
+    /// commit_staged`] and [`CompressedStore::discard_staged`]); on failure
+    /// the writer has already been rolled back.
+    pub(crate) fn stage(&self, batch: &UpdateBatch) -> Result<StagedApply, StoreError> {
+        let mut w = lock_recover(&self.writer);
+        self.stage_locked(&mut w, batch)
+    }
+
+    /// Publishes a staged application: swaps the snapshot in and bumps the
+    /// writer version. Infallible — nothing on this path can fault.
+    pub(crate) fn commit_staged(&self, staged: StagedApply) -> ApplyReport {
+        let mut w = lock_recover(&self.writer);
+        self.commit_locked(&mut w, staged)
+    }
+
+    /// Rolls the writer back instead of publishing a staged application —
+    /// the sharded router calls this on every cleanly staged shard when a
+    /// sibling shard (or the boundary rebuild) fails.
+    pub(crate) fn discard_staged(&self, staged: StagedApply) {
+        let mut w = lock_recover(&self.writer);
+        self.recover_writer(&mut w, &staged.norm);
+    }
+
+    fn stage_locked(&self, w: &mut Writer, batch: &UpdateBatch) -> Result<StagedApply, StoreError> {
+        batch.validate(w.reach.graph().node_count())?;
+        if self.config.serve_patterns {
+            batch.validate_labels(w.reach.graph())?;
+        }
+        // Normalized against the pre-batch graph: the exact inverse the
+        // rollback path needs if anything past this point faults.
+        let norm = batch.normalized(w.reach.graph());
+        let next = w.version + 1;
+        let force_rebuild = w.rebuild_next;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            fail_point!("store/maintain");
+            let (reach_stats, delta) = w.reach.apply_with_delta(batch);
+            let pattern_result = w.pattern.as_mut().map(|p| p.apply_with_delta(batch));
+            let pattern_stats = pattern_result.as_ref().map(|&(stats, _)| stats);
+            fail_point!("store/stage");
+            let build_start = std::time::Instant::now();
+            let prev = self.load();
+            let (pattern_view, pattern_churn, pattern_patched) = match (&w.pattern, &pattern_result)
+            {
+                (Some(p), Some((_, pdelta))) => {
+                    self.derive_pattern_view(&prev, p, pdelta, force_rebuild)
+                }
+                _ => (None, None, false),
             };
-            (snapshot, path)
-        } else {
-            let sq = w.reach.stable_quotient();
-            let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
-            if churn > self.config.damage_threshold {
+            let (snapshot, path) = if force_rebuild {
+                // The previous snapshot's stable ids predate a rollback
+                // recompression — not a valid patch baseline, whatever the
+                // delta says.
+                let sq = w.reach.stable_quotient();
+                let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
                 (
-                    Snapshot::build(w.version, &sq, pattern_view, &self.config),
+                    Snapshot::build(next, &sq, pattern_view, &self.config),
                     ApplyPath::Rebuilt {
                         churn,
                         pattern_churn,
                         pattern_patched,
                     },
                 )
-            } else {
-                let (snapshot, two_hop_patched) = Snapshot::apply_delta(
-                    &prev,
-                    w.version,
-                    &sq,
-                    &delta,
-                    pattern_view,
-                    &self.config,
-                );
-                (
-                    snapshot,
-                    ApplyPath::Patched {
-                        churn,
-                        two_hop_patched,
+            } else if delta.is_empty() {
+                let snapshot = Snapshot::republish(&prev, next, pattern_view);
+                // Name the path after what actually happened to the pattern
+                // view: row-patched → Patched, rebuilt past the gate → Rebuilt
+                // (both with reachability churn 0.0 — that side was carried
+                // over verbatim), untouched → Republished.
+                let path = match pattern_churn {
+                    None => ApplyPath::Republished,
+                    Some(_) if pattern_patched => ApplyPath::Patched {
+                        churn: 0.0,
+                        two_hop_patched: false,
                         pattern_churn,
                         pattern_patched,
                     },
-                )
+                    Some(_) => ApplyPath::Rebuilt {
+                        churn: 0.0,
+                        pattern_churn,
+                        pattern_patched,
+                    },
+                };
+                (snapshot, path)
+            } else {
+                let sq = w.reach.stable_quotient();
+                let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
+                if churn > self.config.damage_threshold {
+                    (
+                        Snapshot::build(next, &sq, pattern_view, &self.config),
+                        ApplyPath::Rebuilt {
+                            churn,
+                            pattern_churn,
+                            pattern_patched,
+                        },
+                    )
+                } else {
+                    let (snapshot, two_hop_patched) =
+                        Snapshot::apply_delta(&prev, next, &sq, &delta, pattern_view, &self.config);
+                    (
+                        snapshot,
+                        ApplyPath::Patched {
+                            churn,
+                            two_hop_patched,
+                            pattern_churn,
+                            pattern_patched,
+                        },
+                    )
+                }
+            };
+            fail_point!("store/publish");
+            let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+            (reach_stats, pattern_stats, snapshot, path, build_ms)
+        }));
+        match outcome {
+            Ok((reach, pattern, snapshot, path, build_ms)) => Ok(StagedApply {
+                snapshot: Arc::new(snapshot),
+                version: next,
+                reach,
+                pattern,
+                path,
+                build_ms,
+                norm,
+            }),
+            Err(payload) => {
+                self.recover_writer(w, &norm);
+                Err(StoreError::WriterFailed {
+                    cause: panic_cause(payload),
+                })
             }
-        };
-        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        }
+    }
+
+    fn commit_locked(&self, w: &mut Writer, staged: StagedApply) -> ApplyReport {
+        let swap_start = std::time::Instant::now();
+        *write_recover(&self.current) = staged.snapshot;
+        w.version = staged.version;
+        w.rebuild_next = false;
         ApplyReport {
-            version: w.version,
-            reach: reach_stats,
-            pattern: pattern_stats,
-            path,
-            publish_ms: publish_start.elapsed().as_secs_f64() * 1e3,
+            version: staged.version,
+            reach: staged.reach,
+            pattern: staged.pattern,
+            path: staged.path,
+            publish_ms: staged.build_ms + swap_start.elapsed().as_secs_f64() * 1e3,
             shards: Vec::new(),
         }
+    }
+
+    /// Rolls the writer back to the pre-batch graph (inverting the
+    /// normalized batch, recompressing) and marks the next publication as
+    /// a forced rebuild. Bytes a torn log append may have left beyond the
+    /// log's committed watermark stay on the file crash-faithfully: replay
+    /// tolerates them and the next append truncates them.
+    fn recover_writer(&self, w: &mut Writer, norm: &UpdateBatch) {
+        w.reach.recover_from_failed(norm);
+        if let Some(p) = w.pattern.as_mut() {
+            p.recover_from_failed(norm);
+        }
+        w.rebuild_next = true;
     }
 
     /// Derives the pattern view the next snapshot will carry: shared
@@ -446,7 +701,9 @@ impl CompressedStore {
     /// is at most [`StoreConfig::damage_threshold`] of the live
     /// bisimulation classes, rebuilt from the maintainer's stable-id export
     /// otherwise. Returns the view, the churn (`None` for the shared path),
-    /// and whether the patch path was taken.
+    /// and whether the patch path was taken. With `force_rebuild` (the
+    /// previous snapshot's stable ids predate a rollback recompression)
+    /// sharing and patching are both off the table.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     fn derive_pattern_view(
@@ -454,14 +711,15 @@ impl CompressedStore {
         prev: &Snapshot,
         p: &MaintainedPattern,
         pdelta: &PartitionDelta,
+        force_rebuild: bool,
     ) -> (Option<Arc<PatternView>>, Option<f64>, bool) {
-        if pdelta.is_empty() {
+        if !force_rebuild && pdelta.is_empty() {
             if let Some(view) = prev.pattern_arc() {
                 return (Some(view), None, false);
             }
         }
         match prev.pattern_view() {
-            Some(view) => {
+            Some(view) if !force_rebuild => {
                 // Post-batch live-class count derived from the previous
                 // view, so the gate decision costs no maintainer export —
                 // and the patch path then takes the member-less export
@@ -484,7 +742,7 @@ impl CompressedStore {
                     )
                 }
             }
-            None => {
+            _ => {
                 let spq = p.stable_quotient();
                 let churn = pdelta.churned() as f64 / spq.class_count().max(1) as f64;
                 (Some(Arc::new(PatternView::build(&spq))), Some(churn), false)

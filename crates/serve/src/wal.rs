@@ -1,0 +1,433 @@
+//! Crash-consistent update log.
+//!
+//! [`UpdateLog`] is an append-only redo log a serving store can write
+//! through: one *base* record holding the initial graph, then one *batch*
+//! record per committed [`UpdateBatch`]. Replaying the log
+//! ([`UpdateLog::read`] + re-applying the batches) reconstructs the store's
+//! graph after a crash, and because every layer of the system is
+//! deterministic, the recovered store answers queries identically to one
+//! that never crashed.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [u32 payload-len (LE)] [u8 kind] [payload…] [u32 crc32 of kind+payload (LE)]
+//! ```
+//!
+//! Kind 0 is the base graph (payload: the [`qpgc_graph::io`] text format);
+//! kind 1 is a batch (payload: `u32` update count, then `[u8 kind][u32
+//! from][u32 to]` per update). All integers little-endian.
+//!
+//! ## Crash semantics
+//!
+//! Appends are *write-behind*: the store appends only after an application
+//! has fully staged, and advances the log's committed watermark only after
+//! the full record hit the file. A crash (or injected fault) mid-append
+//! leaves a **torn tail** — a partial record at the end of the file —
+//! which [`UpdateLog::read`] detects (the declared frame extends past EOF)
+//! and silently drops: the log is the sequence of fully-written records.
+//! A full-frame record whose CRC32 does not match is *not* a torn tail but
+//! real corruption, reported as [`LogError::Corrupt`]. On an aborted
+//! application the store calls [`UpdateLog::rollback`], truncating any torn
+//! bytes so the next append starts on a clean boundary.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use qpgc_fault::fail_point;
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+
+use crate::error::LogError;
+
+const KIND_BASE: u8 = 0;
+const KIND_BATCH: u8 = 1;
+
+/// An append-only, CRC-framed redo log of one store's update history.
+#[derive(Debug)]
+pub struct UpdateLog {
+    file: File,
+    path: PathBuf,
+    /// Byte length of the committed prefix: every record up to here was
+    /// fully written. Bytes beyond it (from an interrupted append) are
+    /// garbage that [`UpdateLog::rollback`] truncates and
+    /// [`UpdateLog::read`] ignores.
+    committed: u64,
+}
+
+impl UpdateLog {
+    /// Creates (or truncates) the log at `path` and writes the base record
+    /// for `g` — the graph state all subsequent batch records apply to.
+    pub fn create<P: AsRef<Path>>(path: P, g: &LabeledGraph) -> Result<Self, LogError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut log = UpdateLog {
+            file,
+            path,
+            committed: 0,
+        };
+        let payload = qpgc_graph::io::to_string(g).into_bytes();
+        log.write_record(KIND_BASE, &payload)?;
+        Ok(log)
+    }
+
+    /// The path the log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte length of the committed prefix.
+    pub fn committed_len(&self) -> u64 {
+        self.committed
+    }
+
+    /// Appends a batch record. On success the record is fully on disk and
+    /// the committed watermark advanced; on failure (I/O error or injected
+    /// fault) the file may hold a torn tail — call [`UpdateLog::rollback`]
+    /// before the next append.
+    pub fn append(&mut self, batch: &UpdateBatch) -> Result<(), LogError> {
+        self.write_record(KIND_BATCH, &encode_batch(batch))
+    }
+
+    /// Truncates any bytes beyond the committed prefix — the cleanup half
+    /// of an aborted application's discard path.
+    pub fn rollback(&mut self) -> Result<(), LogError> {
+        self.file.set_len(self.committed)?;
+        Ok(())
+    }
+
+    fn write_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), LogError> {
+        let mut rec = Vec::with_capacity(payload.len() + 9);
+        rec.extend_from_slice(
+            &u32::try_from(payload.len())
+                .expect("record fits u32")
+                .to_le_bytes(),
+        );
+        rec.push(kind);
+        rec.extend_from_slice(payload);
+        let mut crc = Crc32::new();
+        crc.update(&[kind]);
+        crc.update(payload);
+        rec.extend_from_slice(&crc.finish().to_le_bytes());
+
+        // Truncate any torn bytes a previously interrupted append left
+        // beyond the committed watermark, so this record starts on a clean
+        // boundary.
+        self.file.set_len(self.committed)?;
+        self.file.seek(SeekFrom::Start(self.committed))?;
+        // Write in two halves with a failpoint between them: a fault here
+        // models a crash mid-append, leaving a torn half-record for the
+        // recovery tests to tolerate.
+        let half = rec.len() / 2;
+        self.file.write_all(&rec[..half])?;
+        self.file.flush()?;
+        fail_point!("log/append_torn");
+        self.file.write_all(&rec[half..])?;
+        self.file.flush()?;
+        fail_point!("log/append");
+        self.committed += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the log at `path` back into its base graph and committed
+    /// batches, dropping a torn tail if the last append was interrupted.
+    pub fn read<P: AsRef<Path>>(path: P) -> Result<LogContents, LogError> {
+        let mut buf = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut buf)?;
+
+        let mut graph: Option<LabeledGraph> = None;
+        let mut batches = Vec::new();
+        let mut pos: usize = 0;
+        while pos < buf.len() {
+            let offset = pos as u64;
+            // Frame extending past EOF = torn tail from an interrupted
+            // append; everything before it is the committed log.
+            let Some(header) = buf.get(pos..pos + 5) else {
+                break;
+            };
+            let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+            let kind = header[4];
+            let Some(body) = buf.get(pos + 5..pos + 5 + len + 4) else {
+                break;
+            };
+            let (payload, crc_bytes) = body.split_at(len);
+            let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+            let mut crc = Crc32::new();
+            crc.update(&[kind]);
+            crc.update(payload);
+            if crc.finish() != stored_crc {
+                return Err(LogError::Corrupt {
+                    offset,
+                    detail: "crc32 mismatch on a fully-framed record".into(),
+                });
+            }
+            match kind {
+                KIND_BASE => {
+                    if graph.is_some() {
+                        return Err(LogError::Corrupt {
+                            offset,
+                            detail: "second base record".into(),
+                        });
+                    }
+                    let text = std::str::from_utf8(payload).map_err(|_| LogError::Corrupt {
+                        offset,
+                        detail: "base record is not UTF-8".into(),
+                    })?;
+                    let g = qpgc_graph::io::from_str(text).map_err(|e| LogError::Corrupt {
+                        offset,
+                        detail: format!("base record does not parse: {e}"),
+                    })?;
+                    graph = Some(g);
+                }
+                KIND_BATCH => {
+                    if graph.is_none() {
+                        return Err(LogError::Corrupt {
+                            offset,
+                            detail: "batch record before base record".into(),
+                        });
+                    }
+                    batches.push(decode_batch(payload).ok_or_else(|| LogError::Corrupt {
+                        offset,
+                        detail: "batch record does not parse".into(),
+                    })?);
+                }
+                other => {
+                    return Err(LogError::Corrupt {
+                        offset,
+                        detail: format!("unknown record kind {other}"),
+                    });
+                }
+            }
+            pos += 5 + len + 4;
+        }
+
+        let graph = graph.ok_or(LogError::Corrupt {
+            offset: 0,
+            detail: "log has no base record".into(),
+        })?;
+        Ok(LogContents { graph, batches })
+    }
+}
+
+/// What [`UpdateLog::read`] recovers: the base graph and every batch whose
+/// append committed before the crash.
+#[derive(Debug)]
+pub struct LogContents {
+    /// The graph state the log's base record captured.
+    pub graph: LabeledGraph,
+    /// The committed batches, in append order.
+    pub batches: Vec<UpdateBatch>,
+}
+
+fn encode_batch(batch: &UpdateBatch) -> Vec<u8> {
+    let updates = batch.updates();
+    let mut out = Vec::with_capacity(4 + updates.len() * 9);
+    out.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+    for u in updates {
+        let (a, b) = u.edge();
+        out.push(u.is_insert() as u8);
+        out.extend_from_slice(&a.0.to_le_bytes());
+        out.extend_from_slice(&b.0.to_le_bytes());
+    }
+    out
+}
+
+fn decode_batch(payload: &[u8]) -> Option<UpdateBatch> {
+    let count = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+    let rest = payload.get(4..)?;
+    if rest.len() != count * 9 {
+        return None;
+    }
+    let mut batch = UpdateBatch::new();
+    for rec in rest.chunks_exact(9) {
+        let a = NodeId(u32::from_le_bytes(rec[1..5].try_into().ok()?));
+        let b = NodeId(u32::from_le_bytes(rec[5..9].try_into().ok()?));
+        match rec[0] {
+            0 => batch.delete(a, b),
+            1 => batch.insert(a, b),
+            _ => return None,
+        };
+    }
+    Some(batch)
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — hand-rolled because the build is
+/// offline; table built once per process.
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn table() -> &'static [u32; 256] {
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut table = [0u32; 256];
+            for (i, slot) in table.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+                *slot = c;
+            }
+            table
+        })
+    }
+
+    fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let table = Self::table();
+        for &b in bytes {
+            self.state = table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node_with_label("A");
+        let b = g.add_node_with_label("B");
+        let c = g.add_node_with_label("C");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qpgc_wal_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32/IEEE of "123456789" is 0xCBF43926.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_base_and_batches() {
+        let path = tmp_path("roundtrip");
+        let g = sample();
+        let mut log = UpdateLog::create(&path, &g).unwrap();
+        let mut b1 = UpdateBatch::new();
+        b1.insert(NodeId(2), NodeId(0));
+        let mut b2 = UpdateBatch::new();
+        b2.delete(NodeId(0), NodeId(1));
+        log.append(&b1).unwrap();
+        log.append(&b2).unwrap();
+
+        let contents = UpdateLog::read(&path).unwrap();
+        assert_eq!(contents.graph.node_count(), 3);
+        assert_eq!(contents.graph.edge_count(), 2);
+        assert_eq!(contents.batches.len(), 2);
+        assert_eq!(contents.batches[0].updates(), b1.updates());
+        assert_eq!(contents.batches[1].updates(), b2.updates());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmp_path("torn");
+        let g = sample();
+        let mut log = UpdateLog::create(&path, &g).unwrap();
+        let mut b1 = UpdateBatch::new();
+        b1.insert(NodeId(2), NodeId(0));
+        log.append(&b1).unwrap();
+        let committed = log.committed_len();
+        let mut b2 = UpdateBatch::new();
+        b2.delete(NodeId(0), NodeId(1));
+        log.append(&b2).unwrap();
+        drop(log);
+
+        // Chop the second batch record at every possible torn length: replay
+        // must recover exactly the first batch, never error.
+        let full = std::fs::read(&path).unwrap();
+        for cut in committed as usize..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let contents = UpdateLog::read(&path).unwrap();
+            assert_eq!(contents.batches.len(), 1, "cut at {cut}");
+            assert_eq!(contents.batches[0].updates(), b1.updates());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_reported() {
+        let path = tmp_path("corrupt");
+        let g = sample();
+        let mut log = UpdateLog::create(&path, &g).unwrap();
+        let base_end = log.committed_len();
+        let mut b1 = UpdateBatch::new();
+        b1.insert(NodeId(2), NodeId(0));
+        log.append(&b1).unwrap();
+        drop(log);
+
+        // Flip a payload byte of the (fully-framed) batch record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = base_end as usize + 6;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match UpdateLog::read(&path) {
+            Err(LogError::Corrupt { offset, .. }) => assert_eq!(offset, base_end),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rollback_truncates_torn_bytes() {
+        let path = tmp_path("rollback");
+        let g = sample();
+        let mut log = UpdateLog::create(&path, &g).unwrap();
+        let committed = log.committed_len();
+        // Simulate a torn append by hand: garbage past the watermark.
+        log.file.seek(SeekFrom::Start(committed)).unwrap();
+        log.file.write_all(&[0xAB; 7]).unwrap();
+        log.file.flush().unwrap();
+        log.rollback().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        // And the next append lands cleanly.
+        let mut b = UpdateBatch::new();
+        b.insert(NodeId(2), NodeId(0));
+        log.append(&b).unwrap();
+        let contents = UpdateLog::read(&path).unwrap();
+        assert_eq!(contents.batches.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let path = tmp_path("empty");
+        let g = LabeledGraph::new();
+        let mut log = UpdateLog::create(&path, &g).unwrap();
+        log.append(&UpdateBatch::new()).unwrap();
+        let contents = UpdateLog::read(&path).unwrap();
+        assert!(contents.graph.is_empty());
+        assert_eq!(contents.batches.len(), 1);
+        assert!(contents.batches[0].is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

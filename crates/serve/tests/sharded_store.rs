@@ -35,10 +35,15 @@ fn random_graph(rng: &mut StdRng) -> LabeledGraph {
 
 fn random_batch(rng: &mut StdRng) -> UpdateBatch {
     let mut batch = UpdateBatch::new();
+    let mut kinds: std::collections::HashMap<(NodeId, NodeId), bool> =
+        std::collections::HashMap::new();
     for _ in 0..rng.gen_range(1..5) {
         let u = NodeId(rng.gen_range(0..NODES) as u32);
         let v = NodeId(rng.gen_range(0..NODES) as u32);
-        if rng.gen_bool(0.5) {
+        // Keep the first-drawn kind per edge: validate rejects batches that
+        // both insert and delete one edge.
+        let drawn = rng.gen_bool(0.5);
+        if *kinds.entry((u, v)).or_insert(drawn) {
             batch.insert(u, v);
         } else {
             batch.delete(u, v);
@@ -60,7 +65,7 @@ fn run(config: StoreConfig, seed: u64) {
         states.push(next);
     }
 
-    let store = ShardedStore::new(base, config);
+    let store = ShardedStore::new(base, config).expect("valid sharded config");
     let done = AtomicBool::new(false);
 
     // (watermark, from, to, answer) tuples recorded by each reader.

@@ -43,7 +43,9 @@ pub mod differential {
 
     /// A batch of `count` updates over nodes `0..n`; each is an insertion
     /// with probability `insert_bias` (DAG streams only generate id-upward
-    /// edges).
+    /// edges). Never emits both an insert and a delete of the same edge in
+    /// one batch — [`UpdateBatch::validate`] rejects such conflicts, so a
+    /// draw that would contradict an earlier one keeps the earlier kind.
     pub fn random_batch(
         rng: &mut StdRng,
         n: usize,
@@ -52,6 +54,8 @@ pub mod differential {
         dag: bool,
     ) -> UpdateBatch {
         let mut batch = UpdateBatch::new();
+        let mut kinds: std::collections::HashMap<(u32, u32), bool> =
+            std::collections::HashMap::new();
         for _ in 0..count {
             let mut u = rng.gen_range(0..n) as u32;
             let mut v = rng.gen_range(0..n) as u32;
@@ -61,7 +65,9 @@ pub mod differential {
             if dag && u == v {
                 continue;
             }
-            if rng.gen_bool(insert_bias) {
+            let drawn = rng.gen_bool(insert_bias);
+            let is_insert = *kinds.entry((u, v)).or_insert(drawn);
+            if is_insert {
                 batch.insert(NodeId(u), NodeId(v));
             } else {
                 batch.delete(NodeId(u), NodeId(v));

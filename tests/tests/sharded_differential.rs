@@ -53,7 +53,7 @@ fn sharded_matches_single_store_and_bfs_everywhere() {
                         };
                         stream.drive_pair(
                             |g| CompressedStore::new(g, sharded_config(1, two_hop)),
-                            |g| ShardedStore::new(g, sharded_config(shards, two_hop)),
+                            |g| ShardedStore::new(g, sharded_config(shards, two_hop)).unwrap(),
                         );
                         streams += 1;
                     }
@@ -89,7 +89,8 @@ fn pure_cross_shard_churn_is_bfs_exact() {
         .collect();
     assert!(cross_pairs.len() > 100, "partition produced no cross pairs");
 
-    let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build());
+    let store =
+        ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build()).unwrap();
     let single = CompressedStore::new(g.clone(), StoreConfig::default());
     // Insert a deterministic spread of cross edges, then delete every
     // third one, checking all pairs at every version.
@@ -172,6 +173,6 @@ fn reach_store_generic_code_serves_both_backends() {
         g.add_edge(NodeId(i), NodeId(i + 1));
     }
     let single = CompressedStore::new(g.clone(), StoreConfig::default());
-    let sharded = ShardedStore::new(g, StoreConfig::builder().shards(3).build());
+    let sharded = ShardedStore::new(g, StoreConfig::builder().shards(3).build()).unwrap();
     assert_eq!(census(&single, 12), census(&sharded, 12));
 }

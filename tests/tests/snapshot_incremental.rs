@@ -58,7 +58,9 @@ fn random_graph(rng: &mut StdRng, n_max: usize, dag: bool) -> LabeledGraph {
 }
 
 /// A batch of `count` updates; each is an insertion with probability
-/// `insert_bias` (DAG streams only generate id-upward insertions).
+/// `insert_bias` (DAG streams only generate id-upward insertions). A draw
+/// that would contradict an earlier update of the same edge keeps the
+/// earlier kind, so the batch passes `UpdateBatch::validate`.
 fn random_batch(
     rng: &mut StdRng,
     n: usize,
@@ -67,6 +69,7 @@ fn random_batch(
     dag: bool,
 ) -> UpdateBatch {
     let mut batch = UpdateBatch::new();
+    let mut kinds: std::collections::HashMap<(u32, u32), bool> = std::collections::HashMap::new();
     for _ in 0..count {
         let mut u = rng.gen_range(0..n) as u32;
         let mut v = rng.gen_range(0..n) as u32;
@@ -76,7 +79,9 @@ fn random_batch(
         if dag && u == v {
             continue;
         }
-        if rng.gen_bool(insert_bias) {
+        let drawn = rng.gen_bool(insert_bias);
+        let is_insert = *kinds.entry((u, v)).or_insert(drawn);
+        if is_insert {
             batch.insert(NodeId(u), NodeId(v));
         } else {
             batch.delete(NodeId(u), NodeId(v));
