@@ -1,8 +1,8 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_7.json
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_6.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_8.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_7.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
@@ -16,7 +16,7 @@
 use qpgc_bench::perf::{compare_report, perf_snapshot};
 
 fn main() {
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut compare_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -125,6 +125,30 @@ fn main() {
             row.overhead_pct,
             row.logged_ms,
             row.replay_batches_per_sec
+        );
+    }
+    for row in &snap.adaptive_gate {
+        eprintln!(
+            "  adaptive_gate {} (1/{}, patterns={}): adaptive {:.3} ms vs patch {:.3} / rebuild {:.3} / optimal {:.3} ms; {} warmup, {:.1}% agreement, reach {}p/{}r, pattern {}p/{}r",
+            row.dataset,
+            row.scale,
+            row.serve_patterns,
+            row.adaptive_ms,
+            row.always_patch_ms,
+            row.always_rebuild_ms,
+            row.offline_optimal_ms,
+            row.reach_warmup,
+            row.reach_agreement_pct,
+            row.reach_patched,
+            row.reach_rebuilt,
+            row.pattern_patched,
+            row.pattern_rebuilt
+        );
+    }
+    for row in &snap.parallel_maintenance {
+        eprintln!(
+            "  parallel_maintenance {} {} @ {} thread(s): {:.3} ms ({:.2}x)",
+            row.task, row.dataset, row.threads, row.elapsed_ms, row.speedup
         );
     }
 

@@ -22,13 +22,28 @@ use crate::queries::ReachQuery;
 pub struct MaintainedReachability {
     graph: LabeledGraph,
     inc: IncrementalReach,
+    threads: usize,
 }
 
 impl MaintainedReachability {
     /// Compresses `g` and takes ownership of it for future maintenance.
     pub fn new(g: LabeledGraph) -> Self {
-        let inc = IncrementalReach::new(&g);
-        MaintainedReachability { graph: g, inc }
+        Self::new_with_threads(g, 1)
+    }
+
+    /// [`MaintainedReachability::new`] with an explicit worker count for
+    /// the compression kernels (`0` = available parallelism), remembered
+    /// for every later recompute — including the from-scratch recompression
+    /// on the failure-recovery path. Parallel and sequential kernels
+    /// produce bit-identical partitions, so stable-id determinism (and with
+    /// it every differential guarantee) is unaffected by the knob.
+    pub fn new_with_threads(g: LabeledGraph, threads: usize) -> Self {
+        let inc = IncrementalReach::new_with_threads(&g, threads);
+        MaintainedReachability {
+            graph: g,
+            inc,
+            threads,
+        }
     }
 
     /// The current data graph `G`.
@@ -103,7 +118,7 @@ impl MaintainedReachability {
     /// instead of patching.
     pub fn recover_from_failed(&mut self, norm: &UpdateBatch) {
         undo_effective(&mut self.graph, norm);
-        self.inc = IncrementalReach::new(&self.graph);
+        self.inc = IncrementalReach::new_with_threads(&self.graph, self.threads);
     }
 }
 
@@ -130,13 +145,26 @@ fn undo_effective(g: &mut LabeledGraph, norm: &UpdateBatch) {
 pub struct MaintainedPattern {
     graph: LabeledGraph,
     inc: IncrementalPattern,
+    threads: usize,
 }
 
 impl MaintainedPattern {
     /// Compresses `g` and takes ownership of it for future maintenance.
     pub fn new(g: LabeledGraph) -> Self {
-        let inc = IncrementalPattern::new(&g);
-        MaintainedPattern { graph: g, inc }
+        Self::new_with_threads(g, 1)
+    }
+
+    /// [`MaintainedPattern::new`] with an explicit worker count for the
+    /// refinement kernel (`0` = available parallelism) — the bisimulation
+    /// mirror of [`MaintainedReachability::new_with_threads`], with the
+    /// same bit-identical-partition guarantee.
+    pub fn new_with_threads(g: LabeledGraph, threads: usize) -> Self {
+        let inc = IncrementalPattern::new_with_threads(&g, threads);
+        MaintainedPattern {
+            graph: g,
+            inc,
+            threads,
+        }
     }
 
     /// The current data graph `G`.
@@ -205,7 +233,7 @@ impl MaintainedPattern {
     /// fresh-stable-ids caveat.
     pub fn recover_from_failed(&mut self, norm: &UpdateBatch) {
         undo_effective(&mut self.graph, norm);
-        self.inc = IncrementalPattern::new(&self.graph);
+        self.inc = IncrementalPattern::new_with_threads(&self.graph, self.threads);
     }
 }
 

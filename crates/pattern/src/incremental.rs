@@ -39,7 +39,7 @@ use qpgc_graph::ids::LabelInterner;
 use qpgc_graph::update::{ClassBirth, PartitionDelta};
 use qpgc_graph::{Label, LabeledGraph, NodeId, UpdateBatch};
 
-use crate::bisim::{bisimulation_partition, BisimPartition};
+use crate::bisim::{bisimulation_partition_threads, BisimPartition};
 use crate::compress::PatternCompression;
 
 /// The maintained pattern compression exported under **stable** class ids —
@@ -119,12 +119,24 @@ pub struct IncrementalPattern {
     /// Label names of the original graph, kept so the materialized
     /// compressed graph can resolve pattern queries written by name.
     interner: LabelInterner,
+    /// Worker count handed to the refinement kernel (`0` = available
+    /// parallelism). Refinement output is bit-identical at every value.
+    threads: usize,
 }
 
 impl IncrementalPattern {
     /// Builds the compression of `g` from scratch.
     pub fn new(g: &LabeledGraph) -> Self {
-        let partition = bisimulation_partition(g);
+        Self::new_with_threads(g, 1)
+    }
+
+    /// [`IncrementalPattern::new`] with an explicit worker count for the
+    /// refinement kernel, remembered for later recomputes. Stable-id
+    /// assignment is bit-identical at every thread count (see
+    /// [`bisimulation_partition_threads`]), so the differential guarantees
+    /// are unchanged.
+    pub fn new_with_threads(g: &LabeledGraph, threads: usize) -> Self {
+        let partition = bisimulation_partition_threads(g, threads);
         let mut q_edges: HashMap<(u32, u32), u32> = HashMap::new();
         for (u, v) in g.edges() {
             let cu = partition.class_of(u);
@@ -140,6 +152,7 @@ impl IncrementalPattern {
             free_ids: Vec::new(),
             q_edges,
             interner: g.interner().clone(),
+            threads,
         }
     }
 
@@ -301,7 +314,7 @@ impl IncrementalPattern {
         }
 
         // ---- Recompute the bisimulation on the hybrid graph. -------------
-        let part = bisimulation_partition(&hybrid);
+        let part = bisimulation_partition_threads(&hybrid, self.threads);
         let mut groups: Vec<Vec<Unit>> = vec![Vec::new(); part.class_count()];
         for (i, &unit) in units.iter().enumerate() {
             groups[part.class_of(NodeId::new(i)) as usize].push(unit);

@@ -75,7 +75,10 @@ pub mod pattern;
 pub mod simulation;
 pub mod view;
 
-pub use bisim::{bisimulation_partition, bisimulation_partition_csr, BisimPartition};
+pub use bisim::{
+    bisimulation_partition, bisimulation_partition_csr, bisimulation_partition_csr_threads,
+    bisimulation_partition_threads, BisimPartition,
+};
 pub use bounded::bounded_match;
 pub use compress::{compress_b, compress_b_csr, PatternCompression};
 pub use inc_match::IncrementalMatch;

@@ -48,7 +48,7 @@ use qpgc_graph::update::{ClassBirth, PartitionDelta};
 use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
 
 use crate::compress::ReachCompression;
-use crate::equivalence::{reachability_partition, ReachPartition};
+use crate::equivalence::{reachability_partition_threads, ReachPartition};
 
 /// The maintained compression state exported with **stable** class ids —
 /// the ids [`IncrementalReach`] keeps across updates (recycling retired
@@ -121,17 +121,29 @@ pub struct IncrementalReach {
     free_ids: Vec<u32>,
     /// Directed counts of original edges between *distinct* classes.
     q_edges: HashMap<(u32, u32), u32>,
+    /// Worker count handed to the partition kernel (`0` = available
+    /// parallelism). Partition output is bit-identical at every value.
+    threads: usize,
 }
 
 impl IncrementalReach {
     /// Builds the compression of `g` from scratch (the batch step that the
     /// incremental algorithm then maintains).
     pub fn new(g: &LabeledGraph) -> Self {
-        let partition = reachability_partition(g);
-        Self::from_partition(g, partition)
+        Self::new_with_threads(g, 1)
     }
 
-    fn from_partition(g: &LabeledGraph, partition: ReachPartition) -> Self {
+    /// [`IncrementalReach::new`] with an explicit worker count for the
+    /// closure sweeps, remembered for later localized recomputes. The
+    /// partition (and hence stable-id assignment) is bit-identical at every
+    /// thread count — see
+    /// [`reachability_partition_threads`](crate::equivalence::reachability_partition_threads).
+    pub fn new_with_threads(g: &LabeledGraph, threads: usize) -> Self {
+        let partition = reachability_partition_threads(g, threads);
+        Self::from_partition(g, partition, threads)
+    }
+
+    fn from_partition(g: &LabeledGraph, partition: ReachPartition, threads: usize) -> Self {
         let classes = partition.class_count();
         let mut q_edges: HashMap<(u32, u32), u32> = HashMap::new();
         for (u, v) in g.edges() {
@@ -148,6 +160,7 @@ impl IncrementalReach {
             active: vec![true; classes],
             free_ids: Vec::new(),
             q_edges,
+            threads,
         }
     }
 
@@ -394,7 +407,7 @@ impl IncrementalReach {
         }
 
         // ---- Recompute the equivalence on the hybrid graph. --------------
-        let part = reachability_partition(&hybrid);
+        let part = reachability_partition_threads(&hybrid, self.threads);
 
         // Group hybrid units by their new class.
         let mut groups: Vec<Vec<Unit>> = vec![Vec::new(); part.class_count()];

@@ -58,6 +58,9 @@ pub mod incremental;
 pub mod two_hop;
 
 pub use compress::{compress_r, compress_r_csr, ReachCompression};
-pub use equivalence::{reachability_partition, reachability_partition_csr, ReachPartition};
+pub use equivalence::{
+    reachability_partition, reachability_partition_csr, reachability_partition_threads,
+    ReachPartition,
+};
 pub use incremental::{IncStats, IncrementalReach};
 pub use two_hop::{CoverageEstimate, TwoHopConfig, TwoHopIndex};

@@ -194,21 +194,27 @@ fn pruned_pass<G: GraphView>(
     touched.clear();
 }
 
-/// [`pruned_pass`] for [`TwoHopIndex::patch`] re-runs. Two differences from
-/// the full-build pass: the pruning intersection only considers label
-/// entries with rank **below** the current one (retained entries of
-/// higher-rank clean landmarks must not influence an earlier pass — during
-/// a full build no such entries exist yet), and the rank is written at its
-/// sorted position instead of appended (the lists already hold later
-/// ranks).
-fn patched_pass<G: GraphView>(
+/// [`pruned_pass`] for [`TwoHopIndex::patch`] re-runs, against a **frozen**
+/// label base. Three differences from the full-build pass: the pruning
+/// intersection only considers label entries with rank **below** the
+/// current one (retained entries of higher-rank clean landmarks must not
+/// influence an earlier pass — during a full build no such entries exist
+/// yet); pruning reads `base` — the post-strip labels holding only
+/// clean-landmark entries — never the insertions of other re-run passes,
+/// so every scheduled pass is a pure function of `(g, base)` and passes can
+/// execute concurrently in any order; and the pass *collects* the nodes to
+/// label into `inserts` instead of writing them — the caller commits the
+/// collected ranks at their sorted positions in schedule order.
+#[allow(clippy::too_many_arguments)]
+fn frozen_pass<G: GraphView>(
     g: &G,
     landmark: NodeId,
     rank: u32,
     forward: bool,
-    labels: &mut [Vec<u32>],
+    base: &[Vec<u32>],
     landmark_opposite: &[u32],
     scratch: &mut Scratch,
+    inserts: &mut Vec<u32>,
 ) {
     let Scratch { visited, touched } = scratch;
     let mut queue = VecDeque::new();
@@ -217,12 +223,12 @@ fn patched_pass<G: GraphView>(
     touched.push(landmark.index());
     while let Some(u) = queue.pop_front() {
         if u != landmark
-            && sorted_intersects(landmark_opposite, prefix_below(&labels[u.index()], rank))
+            && sorted_intersects(landmark_opposite, prefix_below(&base[u.index()], rank))
         {
             continue;
         }
         if u != landmark {
-            sorted_insert(&mut labels[u.index()], rank);
+            inserts.push(u.0);
         }
         let neighbors = if forward {
             g.out_neighbors(u)
@@ -447,11 +453,16 @@ impl TwoHopIndex {
     /// minimality. If `h` is dirty or born, its pass re-ran on the new
     /// graph directly, and the same argument applies to its prune points.
     /// The one extra care: re-run passes prune against *rank-prefix-bounded*
-    /// intersections (entries `< h` only), because — unlike during a full
-    /// build — the label lists already contain retained entries of
-    /// higher-rank clean landmarks, which must not influence earlier
-    /// passes. Labels of `patch` and of a from-scratch rebuild may differ
-    /// (both are valid covers); queries agree.
+    /// intersections (entries `< h` only) over the **frozen post-strip
+    /// base** — the retained clean-landmark entries, never the insertions
+    /// of other re-run passes. A failed prune only *adds* labels, so the
+    /// result is still a valid (if slightly larger) cover, and freezing the
+    /// base makes every scheduled pass a pure function of the new graph —
+    /// which is what lets [`TwoHopIndex::patch_with`] run the per-landmark
+    /// passes concurrently while the collected inserts commit at their
+    /// sorted positions in rank order, bit-identical at every thread count.
+    /// Labels of `patch` and of a from-scratch rebuild may differ (both are
+    /// valid covers); queries agree.
     ///
     /// Ranks of dead landmarks remain as tombstones ([`TwoHopIndex::landmark`]
     /// returns `NodeId(u32::MAX)` for them), so repeated patching grows the
@@ -463,12 +474,31 @@ impl TwoHopIndex {
     /// Panics when a dead or dirty id has no live rank in this index, or
     /// when a born id still has one (the groups must describe a consistent
     /// lifecycle step).
-    pub fn patch<G: GraphView>(
+    pub fn patch<G: GraphView + Sync>(
         &self,
         new_graph: &G,
         dead: &[u32],
         dirty: &[u32],
         born: &[u32],
+    ) -> TwoHopIndex {
+        self.patch_with(new_graph, dead, dirty, born, 1)
+    }
+
+    /// [`TwoHopIndex::patch`] with an explicit worker count for the re-run
+    /// passes. `threads == 0` means "use the machine's available
+    /// parallelism"; any value is clamped to the schedule length. Every
+    /// scheduled pass prunes against the frozen post-strip base (see the
+    /// cover argument above), so the passes are independent and run
+    /// concurrently under `std::thread::scope`; their collected inserts
+    /// commit at sorted positions in schedule (rank) order on one thread,
+    /// making the patched index **bit-identical** at every thread count.
+    pub fn patch_with<G: GraphView + Sync>(
+        &self,
+        new_graph: &G,
+        dead: &[u32],
+        dirty: &[u32],
+        born: &[u32],
+        threads: usize,
     ) -> TwoHopIndex {
         let n_new = new_graph.node_count();
         assert!(
@@ -561,31 +591,91 @@ impl TwoHopIndex {
             schedule.push((rank, NodeId(b)));
         }
 
-        let mut scratch_fwd = Scratch::new(n_new);
-        let mut scratch_bwd = Scratch::new(n_new);
-        for &(rank, landmark) in &schedule {
+        // The post-strip labels are the frozen base: both passes of every
+        // scheduled landmark prune against it and only it, so each schedule
+        // entry is an independent unit of work. Run the passes (possibly
+        // across workers), then commit the collected inserts in schedule
+        // order — the committed lists are identical no matter how the
+        // passes were distributed.
+        let workers = {
+            let requested = if threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                threads
+            };
+            requested.clamp(1, schedule.len().max(1))
+        };
+        let run_entry = |&(rank, landmark): &(u32, NodeId),
+                         scratch_fwd: &mut Scratch,
+                         scratch_bwd: &mut Scratch| {
             // Forward: landmark reaches u  ⇒  rank ∈ in_labels[u].
-            let opposite = prefix_below(&out_labels[landmark.index()], rank).to_vec();
-            patched_pass(
+            let mut fwd = Vec::new();
+            let opposite = prefix_below(&out_labels[landmark.index()], rank);
+            frozen_pass(
                 new_graph,
                 landmark,
                 rank,
                 true,
-                &mut in_labels,
-                &opposite,
-                &mut scratch_fwd,
+                &in_labels,
+                opposite,
+                scratch_fwd,
+                &mut fwd,
             );
             // Backward: u reaches landmark  ⇒  rank ∈ out_labels[u].
-            let opposite = prefix_below(&in_labels[landmark.index()], rank).to_vec();
-            patched_pass(
+            let mut bwd = Vec::new();
+            let opposite = prefix_below(&in_labels[landmark.index()], rank);
+            frozen_pass(
                 new_graph,
                 landmark,
                 rank,
                 false,
-                &mut out_labels,
-                &opposite,
-                &mut scratch_bwd,
+                &out_labels,
+                opposite,
+                scratch_bwd,
+                &mut bwd,
             );
+            (fwd, bwd)
+        };
+        let results: Vec<(Vec<u32>, Vec<u32>)> = if workers <= 1 || schedule.len() <= 1 {
+            let mut scratch_fwd = Scratch::new(n_new);
+            let mut scratch_bwd = Scratch::new(n_new);
+            schedule
+                .iter()
+                .map(|entry| run_entry(entry, &mut scratch_fwd, &mut scratch_bwd))
+                .collect()
+        } else {
+            let chunk = schedule.len().div_ceil(workers);
+            let per_chunk: Vec<Vec<(Vec<u32>, Vec<u32>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = schedule
+                    .chunks(chunk)
+                    .map(|entries| {
+                        let run_entry = &run_entry;
+                        s.spawn(move || {
+                            let mut scratch_fwd = Scratch::new(n_new);
+                            let mut scratch_bwd = Scratch::new(n_new);
+                            entries
+                                .iter()
+                                .map(|entry| run_entry(entry, &mut scratch_fwd, &mut scratch_bwd))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("relabel worker panicked"))
+                    .collect()
+            });
+            per_chunk.into_iter().flatten().collect()
+        };
+        for (&(rank, landmark), (fwd, bwd)) in schedule.iter().zip(results) {
+            for u in fwd {
+                sorted_insert(&mut in_labels[u as usize], rank);
+            }
+            for u in bwd {
+                sorted_insert(&mut out_labels[u as usize], rank);
+            }
             sorted_insert(&mut out_labels[landmark.index()], rank);
             sorted_insert(&mut in_labels[landmark.index()], rank);
         }
@@ -1030,114 +1120,166 @@ mod tests {
         assert_eq!(adaptive.label_entries(), exact.label_entries());
     }
 
-    /// Emulates the serving layer's class lifecycle on plain DAGs: `g2` is
-    /// `g1` with some rows retired (isolated), some born (appended or
-    /// recycled), and some edges rewired among rows adjacent to the change.
-    /// The dirty set is derived exactly as the contract requires — any
-    /// surviving row whose cone (in either graph) touches a changed row —
-    /// and the patched index must answer like BFS on `g2` for all pairs.
+    /// A randomized class-lifecycle step for patch tests: `g2` is `g1` with
+    /// some rows retired (isolated), some born (appended or recycled), and
+    /// some edges rewired among rows adjacent to the change.
+    struct LifecycleCase {
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        dead: Vec<u32>,
+        dirty: Vec<u32>,
+        born: Vec<u32>,
+        still_dead: Vec<u32>,
+    }
+
+    /// Emulates the serving layer's class lifecycle on plain DAGs. The
+    /// dirty set is derived exactly as the contract requires — any
+    /// surviving row whose cone (in either graph) touches a changed row.
+    fn random_lifecycle(rng: &mut StdRng) -> LifecycleCase {
+        // Random DAG (edges point id-upward).
+        let n1 = rng.gen_range(4..18usize);
+        let mut edges1: Vec<(u32, u32)> = Vec::new();
+        for u in 0..n1 as u32 {
+            for v in (u + 1)..n1 as u32 {
+                if rng.gen_bool(0.25) {
+                    edges1.push((u, v));
+                }
+            }
+        }
+        let g1 = graph(n1, &edges1);
+
+        // Retire some rows, append some, rewire a few edges.
+        let dead: Vec<u32> = (0..n1 as u32).filter(|_| rng.gen_bool(0.2)).collect();
+        let born_new = rng.gen_range(0..3usize);
+        let n2 = n1 + born_new;
+        let mut born: Vec<u32> = (n1 as u32..n2 as u32).collect();
+        // Recycle about half of the dead ids.
+        let mut still_dead: Vec<u32> = Vec::new();
+        for &d in &dead {
+            if rng.gen_bool(0.5) {
+                born.push(d);
+            } else {
+                still_dead.push(d);
+            }
+        }
+        let is_dead = |v: u32| still_dead.contains(&v);
+        let mut edges2: Vec<(u32, u32)> = edges1
+            .iter()
+            .copied()
+            .filter(|&(u, v)| {
+                !dead.contains(&u) && !dead.contains(&v) // born-recycled rows restart empty
+            })
+            .collect();
+        let mut rewired: Vec<u32> = Vec::new();
+        for _ in 0..rng.gen_range(0..6) {
+            let u = rng.gen_range(0..n2 as u32);
+            let v = rng.gen_range(0..n2 as u32);
+            let (u, v) = (u.min(v), u.max(v));
+            if u == v || is_dead(u) || is_dead(v) {
+                continue;
+            }
+            if let Some(pos) = edges2.iter().position(|&e| e == (u, v)) {
+                edges2.swap_remove(pos);
+            } else {
+                edges2.push((u, v));
+            }
+            rewired.push(u);
+            rewired.push(v);
+        }
+        let g2 = graph(n2, &edges2);
+
+        // Changed rows: every dead/born id plus rewired endpoints.
+        let mut changed: Vec<u32> = dead.iter().chain(born.iter()).copied().collect();
+        changed.extend(rewired);
+        changed.sort_unstable();
+        changed.dedup();
+
+        // Dirty: surviving rows whose cone touches a changed row in
+        // either graph (brute force via BFS closures).
+        let cone_touches = |g: &LabeledGraph, x: u32| -> bool {
+            use qpgc_graph::traversal::{ancestors, descendants};
+            if changed.contains(&x) {
+                return true;
+            }
+            if x as usize >= g.node_count() {
+                return false;
+            }
+            descendants(g, NodeId(x))
+                .into_iter()
+                .chain(ancestors(g, NodeId(x)))
+                .any(|y| changed.contains(&y.0))
+        };
+        let dirty: Vec<u32> = (0..n2 as u32)
+            .filter(|&x| !dead.contains(&x) && !born.contains(&x))
+            .filter(|&x| cone_touches(&g1, x) || cone_touches(&g2, x))
+            .collect();
+
+        LifecycleCase {
+            g1,
+            g2,
+            dead,
+            dirty,
+            born,
+            still_dead,
+        }
+    }
+
+    /// The patched index must answer like BFS on `g2` for all pairs.
     #[test]
     fn patched_index_is_query_equivalent_to_rebuild() {
         let mut rng = StdRng::seed_from_u64(97);
         for case in 0..60 {
-            // Random DAG (edges point id-upward).
-            let n1 = rng.gen_range(4..18usize);
-            let mut edges1: Vec<(u32, u32)> = Vec::new();
-            for u in 0..n1 as u32 {
-                for v in (u + 1)..n1 as u32 {
-                    if rng.gen_bool(0.25) {
-                        edges1.push((u, v));
-                    }
-                }
-            }
-            let g1 = graph(n1, &edges1);
-
-            // Retire some rows, append some, rewire a few edges.
-            let dead: Vec<u32> = (0..n1 as u32).filter(|_| rng.gen_bool(0.2)).collect();
-            let born_new = rng.gen_range(0..3usize);
-            let n2 = n1 + born_new;
-            let mut born: Vec<u32> = (n1 as u32..n2 as u32).collect();
-            // Recycle about half of the dead ids.
-            let mut still_dead: Vec<u32> = Vec::new();
-            for &d in &dead {
-                if rng.gen_bool(0.5) {
-                    born.push(d);
-                } else {
-                    still_dead.push(d);
-                }
-            }
-            let is_dead = |v: u32| still_dead.contains(&v);
-            let mut edges2: Vec<(u32, u32)> = edges1
-                .iter()
-                .copied()
-                .filter(|&(u, v)| {
-                    !dead.contains(&u) && !dead.contains(&v) // born-recycled rows restart empty
-                })
-                .collect();
-            let mut rewired: Vec<u32> = Vec::new();
-            for _ in 0..rng.gen_range(0..6) {
-                let u = rng.gen_range(0..n2 as u32);
-                let v = rng.gen_range(0..n2 as u32);
-                let (u, v) = (u.min(v), u.max(v));
-                if u == v || is_dead(u) || is_dead(v) {
-                    continue;
-                }
-                if let Some(pos) = edges2.iter().position(|&e| e == (u, v)) {
-                    edges2.swap_remove(pos);
-                } else {
-                    edges2.push((u, v));
-                }
-                rewired.push(u);
-                rewired.push(v);
-            }
-            let g2 = graph(n2, &edges2);
-
-            // Changed rows: every dead/born id plus rewired endpoints.
-            let mut changed: Vec<u32> = dead.iter().chain(born.iter()).copied().collect();
-            changed.extend(rewired);
-            changed.sort_unstable();
-            changed.dedup();
-
-            // Dirty: surviving rows whose cone touches a changed row in
-            // either graph (brute force via BFS closures).
-            let cone_touches = |g: &LabeledGraph, x: u32| -> bool {
-                use qpgc_graph::traversal::{ancestors, descendants};
-                if changed.contains(&x) {
-                    return true;
-                }
-                if x as usize >= g.node_count() {
-                    return false;
-                }
-                descendants(g, NodeId(x))
-                    .into_iter()
-                    .chain(ancestors(g, NodeId(x)))
-                    .any(|y| changed.contains(&y.0))
-            };
-            let dirty: Vec<u32> = (0..n2 as u32)
-                .filter(|&x| !dead.contains(&x) && !born.contains(&x))
-                .filter(|&x| cone_touches(&g1, x) || cone_touches(&g2, x))
-                .collect();
-
-            let idx1 = TwoHopIndex::build(&g1);
-            let patched = idx1.patch(&g2, &dead, &dirty, &born);
+            let c = random_lifecycle(&mut rng);
+            let n2 = c.g2.node_count();
+            let idx1 = TwoHopIndex::build(&c.g1);
+            let patched = idx1.patch(&c.g2, &c.dead, &c.dirty, &c.born);
             assert_eq!(
                 patched.retired_rank_count(),
-                dead.len(),
+                c.dead.len(),
                 "case {case}: tombstone count"
             );
             assert_eq!(
                 patched.live_rank_count(),
-                n2 - still_dead.len(),
+                n2 - c.still_dead.len(),
                 "case {case}: live rank count"
             );
-            for u in g2.nodes() {
-                for w in g2.nodes() {
+            for u in c.g2.nodes() {
+                for w in c.g2.nodes() {
                     assert_eq!(
                         patched.query(u, w),
-                        bfs_reachable(&g2, u, w),
+                        bfs_reachable(&c.g2, u, w),
                         "case {case}: patched answer differs for ({u}, {w})"
                     );
                 }
+            }
+        }
+    }
+
+    /// Concurrent re-labeling must produce the exact same label lists as
+    /// the sequential path — not just query-equivalent ones. The frozen
+    /// base plus rank-order commit makes this hold by construction; this
+    /// pins it over seeded lifecycle streams at 1/2/4 workers.
+    #[test]
+    fn parallel_patch_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for case in 0..40 {
+            let c = random_lifecycle(&mut rng);
+            let idx1 = TwoHopIndex::build(&c.g1);
+            let sequential = idx1.patch_with(&c.g2, &c.dead, &c.dirty, &c.born, 1);
+            for threads in [2, 4] {
+                let parallel = idx1.patch_with(&c.g2, &c.dead, &c.dirty, &c.born, threads);
+                assert_eq!(
+                    sequential.out_labels, parallel.out_labels,
+                    "case {case}, threads {threads}: out labels"
+                );
+                assert_eq!(
+                    sequential.in_labels, parallel.in_labels,
+                    "case {case}, threads {threads}: in labels"
+                );
+                assert_eq!(
+                    sequential.landmark_of_rank, parallel.landmark_of_rank,
+                    "case {case}, threads {threads}: rank map"
+                );
             }
         }
     }

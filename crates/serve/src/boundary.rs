@@ -16,14 +16,23 @@
 //! reach each other, so collapsing them would invent paths). Its edges are
 //! the cross edges themselves plus, per shard, a **summary edge** `x → y`
 //! whenever `x` reaches `y` inside that shard — delegated to the shard
-//! snapshot, so the summary inherits the compression's exactness. The
-//! whole structure is rebuilt from the current cut at every watermark
-//! bump; it stays small because only boundary *endpoints* materialize,
+//! snapshot, so the summary inherits the compression's exactness.
+//!
+//! At every watermark bump the summary is **patched, not rebuilt**: the
+//! dominant cost is the `O(B²)` shard-local summary-edge probes, and a
+//! shard whose publication republished (its reachability partition was
+//! untouched by the batch) answers every probe exactly as its predecessor
+//! did — so [`BoundarySummary::patch`] carries those answers over from the
+//! previous cut's summary and probes only pairs involving a boundary node
+//! the cross-edge delta introduced. Shards that patched or rebuilt are
+//! re-probed in full. The per-vertex closure is recomputed every bump (a
+//! handful of BFS walks over the small boundary graph); the whole
+//! structure stays small because only boundary *endpoints* materialize,
 //! never interior nodes.
 //!
 //! [`CompressedStore`]: crate::CompressedStore
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use qpgc_graph::{FixedBitSet, NodeId};
@@ -36,7 +45,7 @@ use crate::snapshot::Snapshot;
 /// [`ShardedSnapshot`](crate::sharded::ShardedSnapshot) and shares its
 /// lifetime, so readers compose queries against exactly the cross-edge set
 /// and shard snapshots of one watermark.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BoundarySummary {
     /// Vertex `i` is boundary node `nodes[i].0` owned by shard
     /// `nodes[i].1`, in first-appearance order over the sorted cross-edge
@@ -44,30 +53,31 @@ pub struct BoundarySummary {
     nodes: Vec<(NodeId, usize)>,
     /// Vertex indices per owning shard.
     by_shard: Vec<Vec<usize>>,
+    /// Per shard, every ordered same-shard boundary pair `(x, y)` with
+    /// `x ⇝ y` shard-locally, in probe-enumeration order — keyed by node
+    /// ids (vertex indices are renumbered every bump) so the next
+    /// [`BoundarySummary::patch`] can carry unchanged shards' answers over
+    /// without re-probing.
+    summary: Vec<Vec<(NodeId, NodeId)>>,
     /// `closure[i]` — every vertex reachable from vertex `i` through cross
     /// and summary edges, self included.
     closure: Vec<FixedBitSet>,
 }
 
 impl BoundarySummary {
-    /// Builds the summary for one cut: `cross` is the live cross-edge set
-    /// (sorted, deduplicated), `snaps` the per-shard snapshots of the same
-    /// watermark. Intra-shard summary edges are decided by
-    /// [`Snapshot::reachable`] on representative pairs, so they are exact
-    /// for the shard subgraph.
-    /// Summary-edge probes go through [`crate::bulk_reachable`] — one
-    /// batch per shard, sharded across `threads` workers (`0` =
-    /// `available_parallelism`) — so summary construction shares the
-    /// parallel bulk-evaluation path with store-level queries.
-    pub(crate) fn build(
-        snaps: &[Arc<Snapshot>],
+    /// Interns the cross-edge endpoints in first-appearance order over
+    /// `cross` (sorted upstream, so deterministic) and materializes the
+    /// cross edges as adjacency — the shared front half of
+    /// [`BoundarySummary::build`] and [`BoundarySummary::patch`].
+    #[allow(clippy::type_complexity)]
+    fn intern_cross(
+        shard_count: usize,
         cross: impl Iterator<Item = (NodeId, NodeId)>,
         shard_of: impl Fn(NodeId) -> usize,
-        threads: usize,
-    ) -> BoundarySummary {
+    ) -> (Vec<(NodeId, usize)>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let mut nodes: Vec<(NodeId, usize)> = Vec::new();
         let mut index: HashMap<NodeId, usize> = HashMap::new();
-        let mut by_shard = vec![Vec::new(); snaps.len()];
+        let mut by_shard = vec![Vec::new(); shard_count];
         let mut intern = |v: NodeId, nodes: &mut Vec<(NodeId, usize)>| -> usize {
             *index.entry(v).or_insert_with(|| {
                 let shard = shard_of(v);
@@ -83,31 +93,27 @@ impl BoundarySummary {
             adjacency.resize(nodes.len(), Vec::new());
             adjacency[iu].push(iv);
         }
-        // Summary edges: shard-local reachability between boundary nodes of
-        // the same shard, answered by that shard's snapshot via one bulk
-        // probe batch per shard.
-        for (shard, verts) in by_shard.iter().enumerate() {
-            let pairs: Vec<(usize, usize)> = verts
-                .iter()
-                .flat_map(|&i| verts.iter().filter(move |&&j| j != i).map(move |&j| (i, j)))
-                .collect();
-            let queries: Vec<(NodeId, NodeId)> = pairs
-                .iter()
-                .map(|&(i, j)| (nodes[i].0, nodes[j].0))
-                .collect();
-            let answers = crate::bulk::bulk_reachable(&*snaps[shard], &queries, threads);
-            for (&(i, j), yes) in pairs.iter().zip(answers) {
-                if yes {
-                    adjacency[i].push(j);
-                }
-            }
-        }
-        // Per-vertex closure by BFS — the boundary graph may be cyclic
-        // (cross edges can close global cycles the shard quotients never
-        // see), which a visited set handles for free.
-        let closure = (0..nodes.len())
+        (nodes, by_shard, adjacency)
+    }
+
+    /// All ordered same-shard pairs of `verts`, in the canonical probe
+    /// enumeration order both `build` and `patch` use — identical
+    /// enumeration is what makes a patched summary structurally equal to a
+    /// built one.
+    fn shard_pairs(verts: &[usize]) -> Vec<(usize, usize)> {
+        verts
+            .iter()
+            .flat_map(|&i| verts.iter().filter(move |&&j| j != i).map(move |&j| (i, j)))
+            .collect()
+    }
+
+    /// Per-vertex closure by BFS — the boundary graph may be cyclic (cross
+    /// edges can close global cycles the shard quotients never see), which
+    /// a visited set handles for free.
+    fn closure_of(adjacency: &[Vec<usize>], n: usize) -> Vec<FixedBitSet> {
+        (0..n)
             .map(|start| {
-                let mut seen = FixedBitSet::with_capacity(nodes.len());
+                let mut seen = FixedBitSet::with_capacity(n);
                 seen.insert(start);
                 let mut stack = vec![start];
                 while let Some(i) = stack.pop() {
@@ -120,10 +126,118 @@ impl BoundarySummary {
                 }
                 seen
             })
-            .collect();
+            .collect()
+    }
+
+    /// Builds the summary for one cut from scratch: `cross` is the live
+    /// cross-edge set (sorted, deduplicated), `snaps` the per-shard
+    /// snapshots of the same watermark. Intra-shard summary edges are
+    /// decided by [`Snapshot::reachable`] on representative pairs, so they
+    /// are exact for the shard subgraph.
+    /// Summary-edge probes go through [`crate::bulk_reachable`] — one
+    /// batch per shard, sharded across `threads` workers (`0` =
+    /// `available_parallelism`) — so summary construction shares the
+    /// parallel bulk-evaluation path with store-level queries.
+    pub(crate) fn build(
+        snaps: &[Arc<Snapshot>],
+        cross: impl Iterator<Item = (NodeId, NodeId)>,
+        shard_of: impl Fn(NodeId) -> usize,
+        threads: usize,
+    ) -> BoundarySummary {
+        let (nodes, by_shard, mut adjacency) = Self::intern_cross(snaps.len(), cross, shard_of);
+        let mut summary = vec![Vec::new(); snaps.len()];
+        for (shard, verts) in by_shard.iter().enumerate() {
+            let pairs = Self::shard_pairs(verts);
+            let queries: Vec<(NodeId, NodeId)> = pairs
+                .iter()
+                .map(|&(i, j)| (nodes[i].0, nodes[j].0))
+                .collect();
+            let answers = crate::bulk::bulk_reachable(&*snaps[shard], &queries, threads);
+            for (&(i, j), yes) in pairs.iter().zip(answers) {
+                if yes {
+                    adjacency[i].push(j);
+                    summary[shard].push((nodes[i].0, nodes[j].0));
+                }
+            }
+        }
+        let closure = Self::closure_of(&adjacency, nodes.len());
         BoundarySummary {
             nodes,
             by_shard,
+            summary,
+            closure,
+        }
+    }
+
+    /// [`BoundarySummary::build`], with the `O(B²)` summary-edge probes of
+    /// unchanged shards answered from `prev` instead of re-probed.
+    ///
+    /// `shard_changed[s]` is whether shard `s`'s publication took any path
+    /// other than republish. A republished shard's snapshot answers every
+    /// shard-local reachability query exactly as the previous cut's did
+    /// (the batch left its reachability partition untouched), so for such
+    /// shards every probe pair whose endpoints were both boundary nodes in
+    /// `prev` keeps its previous answer — positive iff recorded in
+    /// `prev.summary` — and only pairs involving a boundary node the
+    /// cross-edge delta introduced are probed. Changed shards are
+    /// re-probed in full. Probe enumeration order is shared with `build`,
+    /// so the result is structurally equal to what `build` would produce
+    /// over the same inputs — the differential test pins that down.
+    pub(crate) fn patch(
+        prev: &BoundarySummary,
+        snaps: &[Arc<Snapshot>],
+        cross: impl Iterator<Item = (NodeId, NodeId)>,
+        shard_of: impl Fn(NodeId) -> usize,
+        shard_changed: &[bool],
+        threads: usize,
+    ) -> BoundarySummary {
+        let (nodes, by_shard, mut adjacency) = Self::intern_cross(snaps.len(), cross, shard_of);
+        let mut summary = vec![Vec::new(); snaps.len()];
+        for (shard, verts) in by_shard.iter().enumerate() {
+            let pairs = Self::shard_pairs(verts);
+            let answers: Vec<bool> = if shard_changed[shard] {
+                let queries: Vec<(NodeId, NodeId)> = pairs
+                    .iter()
+                    .map(|&(i, j)| (nodes[i].0, nodes[j].0))
+                    .collect();
+                crate::bulk::bulk_reachable(&*snaps[shard], &queries, threads)
+            } else {
+                let carried: HashSet<NodeId> = prev.by_shard[shard]
+                    .iter()
+                    .map(|&i| prev.nodes[i].0)
+                    .collect();
+                let positive: HashSet<(NodeId, NodeId)> =
+                    prev.summary[shard].iter().copied().collect();
+                let mut answers = vec![false; pairs.len()];
+                let mut probe_at: Vec<usize> = Vec::new();
+                let mut probes: Vec<(NodeId, NodeId)> = Vec::new();
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    let (x, y) = (nodes[i].0, nodes[j].0);
+                    if carried.contains(&x) && carried.contains(&y) {
+                        answers[k] = positive.contains(&(x, y));
+                    } else {
+                        probe_at.push(k);
+                        probes.push((x, y));
+                    }
+                }
+                let probed = crate::bulk::bulk_reachable(&*snaps[shard], &probes, threads);
+                for (k, yes) in probe_at.into_iter().zip(probed) {
+                    answers[k] = yes;
+                }
+                answers
+            };
+            for (&(i, j), yes) in pairs.iter().zip(answers) {
+                if yes {
+                    adjacency[i].push(j);
+                    summary[shard].push((nodes[i].0, nodes[j].0));
+                }
+            }
+        }
+        let closure = Self::closure_of(&adjacency, nodes.len());
+        BoundarySummary {
+            nodes,
+            by_shard,
+            summary,
             closure,
         }
     }
@@ -186,6 +300,11 @@ impl BoundarySummary {
                 .by_shard
                 .iter()
                 .map(|v| v.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+            + self
+                .summary
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<(NodeId, NodeId)>())
                 .sum::<usize>()
             + self
                 .closure

@@ -1,0 +1,378 @@
+//! The self-tuning publication gate.
+//!
+//! PR 4 introduced a static `damage_threshold`: a batch whose
+//! [`PartitionDelta`] churned more than a fixed fraction of the live
+//! classes was routed to a from-scratch snapshot build instead of a patch.
+//! BENCH_5 showed the right fraction is wildly workload-dependent — the
+//! web emulations churn 20–95 % of the reachability quotient but <1 % of
+//! the bisimulation quotient — so a single number can't route both sides
+//! well, and no number survives a workload shift.
+//!
+//! [`GateController`] replaces the knob with **measurement**. The store
+//! already times every publication; the controller folds those timings
+//! into two EWMAs per side (reach, bisim):
+//!
+//! * *patch cost per churned class* — patch work is proportional to the
+//!   number of churned rows, so cost normalized by churn transfers across
+//!   batches of different sizes;
+//! * *rebuild cost* — a from-scratch build touches everything, so its
+//!   cost is roughly batch-independent.
+//!
+//! For an incoming delta the controller predicts both costs
+//! (`patch_per_churn · churned` vs `rebuild`) and routes to the cheaper
+//! path. Warmup is deterministic: with no patch sample yet it patches
+//! (buying the missing sample on the cheap-churn batches that dominate
+//! real streams), then with no rebuild sample it rebuilds once, and from
+//! there on it predicts. Observations are fed in **every** mode — a store
+//! running `Fixed` still warms the controller, so flipping to `Adaptive`
+//! later starts informed.
+//!
+//! [`GateMode`] keeps every earlier semantics available: `Fixed(t)`
+//! reproduces the static threshold exactly (at-most boundary semantics
+//! included), and `AlwaysPatch` / `AlwaysRebuild` replace the
+//! `f64::INFINITY` / `0.0` magic values the tests and benchmarks used to
+//! force a path.
+//!
+//! [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
+
+/// How a store routes each batch between delta-patched and from-scratch
+/// snapshot publication. Both served sides (reachability, bisimulation)
+/// are routed independently under the same mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GateMode {
+    /// Route each batch to whichever path the [`GateController`] predicts
+    /// cheaper from observed publication timings. No hand-set threshold;
+    /// see the module docs for the warmup sequence.
+    Adaptive,
+    /// The PR 4 static gate: churn at most this fraction of the live
+    /// classes patches (equality included), strictly more rebuilds.
+    /// `Fixed(0.0)` disables patching; `Fixed(f64::INFINITY)` forces it —
+    /// but prefer the explicit variants below for those.
+    Fixed(f64),
+    /// Every non-empty delta patches, whatever the churn.
+    AlwaysPatch,
+    /// Every non-empty delta rebuilds from scratch.
+    AlwaysRebuild,
+}
+
+impl Default for GateMode {
+    /// The PR 4 production default.
+    fn default() -> Self {
+        GateMode::Fixed(0.25)
+    }
+}
+
+impl GateMode {
+    /// The damage fraction bounding the 2-hop index sub-gate (the
+    /// dirty-landmark fraction above which a snapshot patch still rebuilds
+    /// its secondary index; see `Snapshot::apply_delta`). `Fixed` uses its
+    /// own threshold; the forced modes force the index the same way; and
+    /// `Adaptive` keeps the long-standing default fraction — the
+    /// controller's cost model prices whole publications, not the index
+    /// alone, so the sub-gate stays a structural bound.
+    pub(crate) fn index_patch_bound(self) -> f64 {
+        match self {
+            GateMode::Adaptive => 0.25,
+            GateMode::Fixed(t) => t,
+            GateMode::AlwaysPatch => f64::INFINITY,
+            GateMode::AlwaysRebuild => 0.0,
+        }
+    }
+}
+
+/// The two independently-routed publication sides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateSide {
+    /// The reachability quotient (snapshot CSR + node index + 2-hop).
+    Reach,
+    /// The bisimulation quotient (the served `PatternView`).
+    Bisim,
+}
+
+/// One routing decision, recorded per side in
+/// [`ApplyReport`](crate::ApplyReport) so callers can audit the
+/// controller.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateDecision {
+    /// Stable classes churned by the batch on this side.
+    pub churned: usize,
+    /// Live classes on this side at decision time.
+    pub live: usize,
+    /// Predicted patch cost in milliseconds (`None` until the controller
+    /// has a patch sample, and always `None` in the non-`Adaptive` modes).
+    pub predicted_patch_ms: Option<f64>,
+    /// Predicted rebuild cost in milliseconds (`None` until the controller
+    /// has a rebuild sample, and always `None` in the non-`Adaptive`
+    /// modes).
+    pub predicted_rebuild_ms: Option<f64>,
+    /// `true` → the delta-patch path was chosen; `false` → from-scratch.
+    pub patch: bool,
+    /// `true` while an `Adaptive` decision was forced by a missing cost
+    /// sample rather than predicted from both EWMAs.
+    pub warmup: bool,
+}
+
+/// Exponential smoothing factor of the cost EWMAs: heavy enough that the
+/// controller tracks workload shifts within a few batches, light enough
+/// that one outlier publication doesn't flip the routing.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Per-side observed-cost state.
+#[derive(Clone, Copy, Debug, Default)]
+struct SideCosts {
+    /// EWMA of patch milliseconds per churned class.
+    patch_ms_per_churn: Option<f64>,
+    /// EWMA of from-scratch build milliseconds.
+    rebuild_ms: Option<f64>,
+}
+
+impl SideCosts {
+    fn fold(slot: &mut Option<f64>, sample: f64) {
+        *slot = Some(match *slot {
+            None => sample,
+            Some(prev) => prev + EWMA_ALPHA * (sample - prev),
+        });
+    }
+}
+
+/// The measuring cost controller behind [`GateMode::Adaptive`] — one per
+/// store, shared across every shard writer of a sharded store (wrapped in
+/// a poison-recovered mutex there, like the rest of the router state).
+#[derive(Clone, Debug, Default)]
+pub struct GateController {
+    reach: SideCosts,
+    bisim: SideCosts,
+}
+
+impl GateController {
+    /// A controller with no samples.
+    pub fn new() -> Self {
+        GateController::default()
+    }
+
+    fn side(&self, side: GateSide) -> &SideCosts {
+        match side {
+            GateSide::Reach => &self.reach,
+            GateSide::Bisim => &self.bisim,
+        }
+    }
+
+    fn side_mut(&mut self, side: GateSide) -> &mut SideCosts {
+        match side {
+            GateSide::Reach => &mut self.reach,
+            GateSide::Bisim => &mut self.bisim,
+        }
+    }
+
+    /// Routes one non-empty delta: `churned` stable classes out of `live`
+    /// on `side`, under `mode`. Deterministic — equal controller state and
+    /// arguments always produce the same decision.
+    pub fn decide(
+        &self,
+        side: GateSide,
+        mode: GateMode,
+        churned: usize,
+        live: usize,
+    ) -> GateDecision {
+        let mut decision = GateDecision {
+            churned,
+            live,
+            predicted_patch_ms: None,
+            predicted_rebuild_ms: None,
+            patch: false,
+            warmup: false,
+        };
+        match mode {
+            GateMode::AlwaysPatch => decision.patch = true,
+            GateMode::AlwaysRebuild => decision.patch = false,
+            GateMode::Fixed(threshold) => {
+                // The PR 4 at-most boundary: churn ≤ threshold patches.
+                let churn = churned as f64 / live.max(1) as f64;
+                decision.patch = churn <= threshold;
+            }
+            GateMode::Adaptive => {
+                let costs = self.side(side);
+                match (costs.patch_ms_per_churn, costs.rebuild_ms) {
+                    // No patch sample: patch to buy one (patching is the
+                    // cheap guess on the low-churn batches that dominate).
+                    (None, _) => {
+                        decision.patch = true;
+                        decision.warmup = true;
+                    }
+                    // No rebuild sample: rebuild once to price it.
+                    (Some(per), None) => {
+                        decision.predicted_patch_ms = Some(per * churned as f64);
+                        decision.patch = false;
+                        decision.warmup = true;
+                    }
+                    (Some(per), Some(rebuild)) => {
+                        let patch_ms = per * churned as f64;
+                        decision.predicted_patch_ms = Some(patch_ms);
+                        decision.predicted_rebuild_ms = Some(rebuild);
+                        decision.patch = patch_ms <= rebuild;
+                    }
+                }
+            }
+        }
+        decision
+    }
+
+    /// Feeds one observed publication back: the path actually taken
+    /// (`patched`), the churn it served, and its wall-clock. Called in
+    /// every mode so a `Fixed` store still warms the controller. Patch
+    /// observations with zero churn carry no per-class information and are
+    /// dropped.
+    pub fn observe(&mut self, side: GateSide, patched: bool, churned: usize, ms: f64) {
+        let costs = self.side_mut(side);
+        if patched {
+            if churned > 0 {
+                SideCosts::fold(&mut costs.patch_ms_per_churn, ms / churned as f64);
+            }
+        } else {
+            SideCosts::fold(&mut costs.rebuild_ms, ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays a synthetic cost stream through the controller in
+    /// `Adaptive` mode and returns its decisions. Costs are fed back
+    /// according to the *controller's own* routing, like the store does.
+    fn drive(
+        ctl: &mut GateController,
+        side: GateSide,
+        stream: &[(usize, usize, f64, f64)], // (churned, live, patch_ms_per_churn, rebuild_ms)
+    ) -> Vec<GateDecision> {
+        stream
+            .iter()
+            .map(|&(churned, live, per, rebuild)| {
+                let d = ctl.decide(side, GateMode::Adaptive, churned, live);
+                let ms = if d.patch {
+                    per * churned as f64
+                } else {
+                    rebuild
+                };
+                ctl.observe(side, d.patch, churned, ms);
+                d
+            })
+            .collect()
+    }
+
+    /// After the two warmup decisions the controller must match the
+    /// offline-optimal choice (true cost comparison) on a stationary
+    /// synthetic stream — with no hand-set threshold anywhere.
+    #[test]
+    fn adaptive_matches_offline_optimal_after_warmup() {
+        // Patch costs 0.5 ms per churned class, rebuild a flat 40 ms: the
+        // offline-optimal rule is "patch iff churned ≤ 80". Mix light and
+        // heavy batches around that break-even point.
+        let stream: Vec<(usize, usize, f64, f64)> = [5, 200, 30, 150, 79, 81, 10, 400, 60, 100]
+            .iter()
+            .map(|&churned| (churned, 1000, 0.5, 40.0))
+            .collect();
+        let mut ctl = GateController::new();
+        let decisions = drive(&mut ctl, GateSide::Reach, &stream);
+        assert!(decisions[0].warmup && decisions[0].patch, "first: patch");
+        assert!(
+            decisions[1].warmup && !decisions[1].patch,
+            "second: rebuild"
+        );
+        for (i, d) in decisions.iter().enumerate().skip(2) {
+            let optimal_patch = 0.5 * stream[i].0 as f64 <= 40.0;
+            assert!(!d.warmup, "batch {i} still in warmup");
+            assert_eq!(
+                d.patch, optimal_patch,
+                "batch {i} (churned {}): controller disagrees with offline optimum",
+                stream[i].0
+            );
+        }
+    }
+
+    /// The two sides keep independent cost state: a reach-heavy stream
+    /// must not steer the bisim side.
+    #[test]
+    fn sides_are_independent() {
+        let mut ctl = GateController::new();
+        // Make reach patching look terrible (100 ms/class vs 1 ms rebuild).
+        drive(
+            &mut ctl,
+            GateSide::Reach,
+            &[(10, 100, 100.0, 1.0), (10, 100, 100.0, 1.0)],
+        );
+        let reach = ctl.decide(GateSide::Reach, GateMode::Adaptive, 10, 100);
+        assert!(!reach.patch, "reach should rebuild");
+        // Bisim has no samples at all: warmup patch.
+        let bisim = ctl.decide(GateSide::Bisim, GateMode::Adaptive, 10, 100);
+        assert!(bisim.patch && bisim.warmup);
+    }
+
+    /// `Fixed` must reproduce the PR 4 boundary behavior exactly —
+    /// at-most semantics: equality patches, strictly above rebuilds — and
+    /// never consult the cost state.
+    #[test]
+    fn fixed_mode_reproduces_the_static_boundary() {
+        let mut ctl = GateController::new();
+        // Poison the cost state towards "always rebuild".
+        ctl.observe(GateSide::Reach, true, 10, 1e9);
+        ctl.observe(GateSide::Reach, false, 0, 1e-9);
+        let at = ctl.decide(GateSide::Reach, GateMode::Fixed(0.25), 25, 100);
+        assert!(at.patch, "churn == threshold must patch");
+        let above = ctl.decide(GateSide::Reach, GateMode::Fixed(0.25), 26, 100);
+        assert!(!above.patch, "churn > threshold must rebuild");
+        let zero = ctl.decide(GateSide::Reach, GateMode::Fixed(0.0), 1, 100);
+        assert!(!zero.patch, "Fixed(0.0) disables patching");
+        let inf = ctl.decide(GateSide::Reach, GateMode::Fixed(f64::INFINITY), 100, 100);
+        assert!(inf.patch, "Fixed(inf) forces patching");
+    }
+
+    #[test]
+    fn forced_modes_ignore_everything() {
+        let mut ctl = GateController::new();
+        ctl.observe(GateSide::Bisim, true, 10, 1e9);
+        assert!(
+            ctl.decide(GateSide::Bisim, GateMode::AlwaysPatch, 1000, 1)
+                .patch
+        );
+        assert!(
+            !ctl.decide(GateSide::Bisim, GateMode::AlwaysRebuild, 0, 1000)
+                .patch
+        );
+    }
+
+    /// A workload shift (patching suddenly slow) must re-route within a
+    /// few batches — the EWMA, not a frozen average.
+    #[test]
+    fn adapts_to_workload_shift() {
+        let mut ctl = GateController::new();
+        // Phase 1: patching cheap — converge to patching.
+        drive(&mut ctl, GateSide::Reach, &[(10, 100, 0.1, 50.0); 6]);
+        assert!(
+            ctl.decide(GateSide::Reach, GateMode::Adaptive, 10, 100)
+                .patch
+        );
+        // Phase 2: patch cost jumps 100×. The controller keeps choosing
+        // patch at first (its prediction lags), so feed the *observed*
+        // slow patches straight in, as the store would.
+        for _ in 0..8 {
+            let d = ctl.decide(GateSide::Reach, GateMode::Adaptive, 10, 100);
+            let ms = if d.patch { 10.0 * 10.0 } else { 50.0 };
+            ctl.observe(GateSide::Reach, d.patch, 10, ms);
+        }
+        assert!(
+            !ctl.decide(GateSide::Reach, GateMode::Adaptive, 10, 100)
+                .patch,
+            "controller failed to re-route after the shift"
+        );
+    }
+
+    #[test]
+    fn zero_churn_patch_observations_are_dropped() {
+        let mut ctl = GateController::new();
+        ctl.observe(GateSide::Reach, true, 0, 123.0);
+        let d = ctl.decide(GateSide::Reach, GateMode::Adaptive, 5, 100);
+        assert!(d.warmup, "zero-churn sample must not end warmup");
+    }
+}

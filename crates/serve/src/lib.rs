@@ -41,9 +41,9 @@
 //! * [`bulk_reachable`] — shards a query batch across `std::thread::scope`
 //!   workers, all reading the same shared cut (generic over [`ReachCut`],
 //!   so it serves both backends).
-//! * Snapshot *publication* is **incremental on both query classes**:
-//!   below the configurable damage threshold
-//!   ([`StoreConfig::damage_threshold`]) the writer derives the next
+//! * Snapshot *publication* is **incremental on both query classes**: when
+//!   the self-tuning [`GateController`] (under [`StoreConfig::gate`])
+//!   routes a batch to the patch path, the writer derives the next
 //!   snapshot from the previous one via each side's `PartitionDelta` —
 //!   quotient CSR rows are patched in place (`CsrGraph::patch`, untouched
 //!   spans copied wholesale), transitive reduction is re-decided only for
@@ -51,15 +51,18 @@
 //!   landmarks whose reachability cones touch the changed classes
 //!   ([`TwoHopIndex::patch`]), and the pattern view re-derives only the
 //!   quotient rows the bisimulation delta can have changed
-//!   (`PatternView::apply_delta`). The two sides are gated independently:
-//!   heavy bisimulation churn rebuilds only the pattern view, heavy
-//!   reachability churn only the reachability structures, and a side whose
-//!   partition a batch leaves untouched is `Arc`-shared with the previous
-//!   snapshot outright. [`ApplyReport::path`] records both decisions. The
-//!   optional 2-hop build can still run its per-landmark forward/backward
-//!   passes on two threads (`TwoHopConfig::parallel`);
-//!   [`parallel::class_edges`] remains for materializing quotient edges
-//!   from scratch when no maintained counters exist.
+//!   (`PatternView::apply_delta`). The two sides are gated independently
+//!   (the controller keeps separate cost models per side): heavy
+//!   bisimulation churn rebuilds only the pattern view, heavy reachability
+//!   churn only the reachability structures, and a side whose partition a
+//!   batch leaves untouched is `Arc`-shared with the previous snapshot
+//!   outright. [`ApplyReport::path`] records both routes and
+//!   [`ApplyReport::reach_gate`] / [`ApplyReport::pattern_gate`] the
+//!   controller's decisions. The optional 2-hop build can still run its
+//!   per-landmark forward/backward passes on two threads
+//!   (`TwoHopConfig::parallel`); [`parallel::class_edges`] remains for
+//!   materializing quotient edges from scratch when no maintained counters
+//!   exist.
 //!
 //! ## Consistency model
 //!
@@ -84,6 +87,7 @@ pub mod api;
 pub mod boundary;
 pub mod bulk;
 pub mod error;
+pub mod gate;
 pub mod parallel;
 pub mod sharded;
 pub mod snapshot;
@@ -94,6 +98,7 @@ pub use api::{ReachCut, ReachStore};
 pub use boundary::BoundarySummary;
 pub use bulk::bulk_reachable;
 pub use error::{LogError, StoreError};
+pub use gate::{GateController, GateDecision, GateMode, GateSide};
 pub use sharded::{ShardedSnapshot, ShardedStore};
 pub use snapshot::Snapshot;
 pub use store::{

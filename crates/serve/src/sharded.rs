@@ -73,6 +73,7 @@ use qpgc_reach::incremental::IncStats;
 
 use crate::boundary::BoundarySummary;
 use crate::error::{panic_cause, StoreError};
+use crate::gate::GateController;
 use crate::snapshot::Snapshot;
 use crate::store::{
     lock_recover, read_recover, write_recover, ApplyPath, ApplyReport, CompressedStore, ShardApply,
@@ -188,10 +189,20 @@ impl ShardedStore {
             shards: 1,
             ..config
         };
+        // One cost controller shared by every shard writer: all shards see
+        // the same workload shape, so pooling their patch/rebuild cost
+        // samples warms the adaptive gate N× faster than per-shard state
+        // would, and keeps routing consistent across the cut. Poison-safe
+        // like the rest of the router state (`lock_recover` inside the
+        // controller's users).
+        let gate = Arc::new(Mutex::new(GateController::new()));
         let shards: Vec<CompressedStore> = std::thread::scope(|s| {
             let handles: Vec<_> = subgraphs
                 .into_iter()
-                .map(|sub| s.spawn(move || CompressedStore::new(sub, shard_config)))
+                .map(|sub| {
+                    let gate = Arc::clone(&gate);
+                    s.spawn(move || CompressedStore::new_with_gate(sub, shard_config, gate))
+                })
                 .collect();
             handles
                 .into_iter()
@@ -398,12 +409,22 @@ impl ShardedStore {
             snaps.iter().all(|s| s.version() == next),
             "every shard receives every batch, so shard versions track the watermark"
         );
+        // Shards whose stage republished kept their reachability answers —
+        // the boundary patch carries their summary edges over from the
+        // previous cut instead of re-probing the O(B²) pairs.
+        let shard_changed: Vec<bool> = staged
+            .iter()
+            .map(|(_, s)| !matches!(s.path(), ApplyPath::Republished))
+            .collect();
+        let prev_cut = self.load();
         let cut = match catch_unwind(AssertUnwindSafe(|| {
             fail_point!("sharded/boundary");
-            let boundary = BoundarySummary::build(
+            let boundary = BoundarySummary::patch(
+                &prev_cut.boundary,
                 &snaps,
                 staged_cross.iter().copied(),
                 |v| self.part.shard_of(v),
+                &shard_changed,
                 self.config.threads,
             );
             fail_point!("sharded/commit");
@@ -468,20 +489,23 @@ impl ShardedStore {
                 path: r.path,
                 reach: r.reach,
                 publish_ms: r.publish_ms,
+                reach_gate: r.reach_gate,
             })
             .collect();
         let slowest = reports.iter().map(|r| r.publish_ms).fold(0.0f64, f64::max);
         // Aggregate path: the most expensive path any shard took, carrying
-        // the maximum churn observed on that path.
-        let path = reports
+        // the maximum churn observed on that path — and that shard's gate
+        // decision (per-shard decisions live in `shards`).
+        let dominant = reports
             .iter()
-            .map(|r| r.path)
             .max_by(|a, b| {
-                path_rank(a)
-                    .partial_cmp(&path_rank(b))
+                path_rank(&a.path)
+                    .partial_cmp(&path_rank(&b.path))
                     .expect("churn is never NaN")
             })
             .expect("at least one shard");
+        let path = dominant.path;
+        let reach_gate = dominant.reach_gate;
         Ok(ApplyReport {
             version: next,
             reach: reports
@@ -490,6 +514,8 @@ impl ShardedStore {
             pattern: None,
             path,
             publish_ms: slowest + bump_ms,
+            reach_gate,
+            pattern_gate: None,
             shards,
         })
     }
@@ -694,5 +720,91 @@ mod tests {
             .map(|s| s.publish_ms)
             .fold(0.0, f64::max);
         assert!(report.publish_ms >= slowest);
+    }
+
+    /// Satellite differential for the boundary patch: the summary the
+    /// router publishes by carrying unchanged shards' answers over must be
+    /// structurally identical to a from-scratch rebuild on the same cut —
+    /// across streams mixing cross-only churn (every shard republishes,
+    /// maximal carry-over), single-shard churn (siblings carry over), and
+    /// global churn (everyone re-probes).
+    #[test]
+    fn patched_boundary_summary_equals_full_rebuild() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(88);
+        let n = 32u32;
+        for shards in [2usize, 4] {
+            let mut g = LabeledGraph::new();
+            for _ in 0..n {
+                g.add_node_with_label("X");
+            }
+            for i in 0..n - 1 {
+                g.add_edge(NodeId(i), NodeId(i + 1));
+            }
+            let store = ShardedStore::new(g.clone(), StoreConfig::builder().shards(shards).build())
+                .unwrap();
+            let part = NodePartition::new(shards);
+            for step in 0..12 {
+                let mut batch = UpdateBatch::new();
+                match step % 3 {
+                    // Cross-only churn: every shard slice is empty, every
+                    // shard republishes, and the patch answers carried
+                    // pairs from the previous summary (probing only pairs
+                    // that involve a brand-new boundary endpoint).
+                    0 => {
+                        for _ in 0..4 {
+                            let u = NodeId(rng.gen_range(0..n));
+                            let w = NodeId(rng.gen_range(0..n));
+                            if u != w && part.shard_of(u) != part.shard_of(w) {
+                                batch.insert(u, w);
+                            }
+                        }
+                    }
+                    // Single-shard churn: one shard stages a real delta,
+                    // its siblings republish and carry over.
+                    1 => {
+                        let target = rng.gen_range(0..shards);
+                        let mut placed = 0;
+                        while placed < 2 {
+                            let u = NodeId(rng.gen_range(0..n));
+                            let w = NodeId(rng.gen_range(0..n));
+                            if u != w && part.shard_of(u) == target && part.shard_of(w) == target {
+                                batch.insert(u, w);
+                                placed += 1;
+                            }
+                        }
+                    }
+                    // Global churn: chain-edge deletes land in whatever
+                    // shard the hash chose, plus random inserts.
+                    _ => {
+                        let i = rng.gen_range(0..n - 1);
+                        batch.delete(NodeId(i), NodeId(i + 1));
+                        let u = NodeId(rng.gen_range(0..n));
+                        let w = NodeId(rng.gen_range(0..n));
+                        if u != w {
+                            batch.insert(u, w);
+                        }
+                    }
+                }
+                store.apply(&batch);
+                batch.apply_to(&mut g);
+
+                let cut = store.load();
+                let cross: Vec<(NodeId, NodeId)> =
+                    lock_recover(&store.router).cross.iter().copied().collect();
+                let rebuilt = BoundarySummary::build(
+                    &cut.shards,
+                    cross.into_iter(),
+                    |v| cut.part.shard_of(v),
+                    1,
+                );
+                assert_eq!(
+                    cut.boundary, rebuilt,
+                    "patched summary diverged from rebuild: shards={shards} step={step}"
+                );
+                all_pairs_match_bfs(&store, &g);
+            }
+        }
     }
 }

@@ -244,8 +244,8 @@ impl Snapshot {
         let gr = prev.gr.patch_with(diff.added(), diff.removed(), &appended);
 
         // 2-hop: re-label only landmarks whose cones intersect the changed
-        // classes; fall back to a full (compacting) rebuild past the damage
-        // threshold or once tombstones outnumber live ranks.
+        // classes; fall back to a full (compacting) rebuild past the gate
+        // mode's index-patch bound or once tombstones outnumber live ranks.
         let (two_hop, two_hop_patched) = match (&config.two_hop, prev.two_hop.as_deref()) {
             (Some(cfg), Some(idx)) => {
                 let old_dag = DagReach::from_dag_graph(&*prev.gr)
@@ -275,11 +275,17 @@ impl Snapshot {
                 let live = idx.live_rank_count().max(1);
                 let damage = (dirty.len() + added_ids.len()) as f64 / live as f64;
                 let tombstones = idx.retired_rank_count() + delta.removed.len();
-                if damage > config.damage_threshold || tombstones > live {
+                if damage > config.gate.index_patch_bound() || tombstones > live {
                     (Some(Arc::new(TwoHopIndex::build_with(&gr, cfg))), false)
                 } else {
                     (
-                        Some(Arc::new(idx.patch(&gr, &delta.removed, &dirty, &added_ids))),
+                        Some(Arc::new(idx.patch_with(
+                            &gr,
+                            &delta.removed,
+                            &dirty,
+                            &added_ids,
+                            config.threads,
+                        ))),
                         true,
                     )
                 }
@@ -424,6 +430,7 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gate::GateMode;
     use qpgc::maintenance::{MaintainedPattern, MaintainedReachability};
     use qpgc_graph::{LabeledGraph, UpdateBatch};
     use rand::rngs::StdRng;
@@ -544,7 +551,7 @@ mod tests {
             .two_hop(Default::default())
             // Exercise the scoped 2-hop re-labeling even when most of the
             // tiny graph is dirty.
-            .damage_threshold(f64::INFINITY)
+            .gate(GateMode::AlwaysPatch)
             .build();
         for case in 0..25 {
             let mut g = random_graph(&mut rng, 20);

@@ -28,6 +28,7 @@ use qpgc_reach::incremental::IncStats;
 use qpgc_reach::two_hop::TwoHopConfig;
 
 use crate::error::{panic_cause, StoreError};
+use crate::gate::{GateController, GateDecision, GateMode, GateSide};
 use crate::snapshot::Snapshot;
 use crate::wal::UpdateLog;
 
@@ -58,9 +59,9 @@ pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// from PR 6 on — or take [`StoreConfig::default`]:
 ///
 /// ```
-/// use qpgc_serve::StoreConfig;
+/// use qpgc_serve::{GateMode, StoreConfig};
 /// let config = StoreConfig::builder()
-///     .damage_threshold(0.5)
+///     .gate(GateMode::Adaptive)
 ///     .two_hop(Default::default())
 ///     .shards(4)
 ///     .build();
@@ -79,26 +80,25 @@ pub struct StoreConfig {
     /// default: it duplicates the data graph into a second maintenance
     /// façade and adds incremental bisimulation maintenance to every batch.
     /// Publication of the pattern side is delta-aware (see
-    /// [`StoreConfig::damage_threshold`]): a batch that leaves the
+    /// [`StoreConfig::gate`]): a batch that leaves the
     /// bisimulation partition untouched shares the previous snapshot's
     /// [`PatternView`] pointer-wise instead of re-materializing it.
     pub serve_patterns: bool,
-    /// Damage threshold of delta-patched snapshot publication, with
-    /// **at-most** semantics at the boundary: a batch whose
-    /// [`PartitionDelta`] churns *strictly more* than this fraction of the
-    /// live classes falls back to a from-scratch build, while churn at or
-    /// below the threshold (equality included) patches the previous
-    /// snapshot (quotient CSR rows, node index, scoped 2-hop re-labeling —
-    /// the same fraction also gates the 2-hop patch against its
-    /// dirty-landmark count). When patterns are served, the same threshold
-    /// independently gates the pattern side, with its churn measured
-    /// against the live bisimulation classes: heavy pattern churn rebuilds
-    /// only the [`PatternView`] without forcing a reachability rebuild, and
-    /// vice versa. `0.0` disables patching entirely (any non-zero churn
-    /// exceeds it), `f64::INFINITY` forces patching. Default: `0.25`.
+    /// How delta-patched snapshot publication is routed against
+    /// from-scratch builds, per side — see [`GateMode`]. `Fixed(t)`
+    /// reproduces the pre-controller `damage_threshold` exactly (at-most
+    /// boundary semantics: churn of the batch's [`PartitionDelta`] at most
+    /// `t` of the live classes patches, strictly more rebuilds);
+    /// `Adaptive` routes each batch to whichever path the store's
+    /// [`GateController`] predicts cheaper from observed publication
+    /// timings. When patterns are served, the pattern side is routed
+    /// independently, with its churn measured against the live
+    /// bisimulation classes: heavy pattern churn rebuilds only the
+    /// [`PatternView`] without forcing a reachability rebuild, and vice
+    /// versa. Default: `Fixed(0.25)`.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
-    pub damage_threshold: f64,
+    pub gate: GateMode,
     /// Number of hash-partitioned shards a
     /// [`ShardedStore`](crate::sharded::ShardedStore) splits the node space
     /// across (per-shard writers then apply their slice of each batch
@@ -113,7 +113,7 @@ impl Default for StoreConfig {
             threads: 0,
             two_hop: None,
             serve_patterns: false,
-            damage_threshold: 0.25,
+            gate: GateMode::default(),
             shards: 1,
         }
     }
@@ -157,11 +157,19 @@ impl StoreConfigBuilder {
         self
     }
 
-    /// Damage threshold of delta-patched snapshot publication (see
-    /// [`StoreConfig::damage_threshold`] for the at-most boundary
-    /// semantics).
+    /// Publication gate mode (see [`GateMode`] and [`StoreConfig::gate`]).
+    pub fn gate(mut self, mode: GateMode) -> Self {
+        self.config.gate = mode;
+        self
+    }
+
+    /// Static damage threshold — sugar for `gate(GateMode::Fixed(t))`,
+    /// kept so pre-controller call sites and their at-most boundary
+    /// semantics read unchanged. Use [`GateMode::AlwaysPatch`] /
+    /// [`GateMode::AlwaysRebuild`] instead of the old `f64::INFINITY` /
+    /// `0.0` magic values when the intent is to force a path.
     pub fn damage_threshold(mut self, threshold: f64) -> Self {
-        self.config.damage_threshold = threshold;
+        self.config.gate = GateMode::Fixed(threshold);
         self
     }
 
@@ -207,8 +215,8 @@ pub enum ApplyPath {
         /// not served).
         pattern_patched: bool,
     },
-    /// Something was rebuilt from scratch: the reachability side when its
-    /// churn exceeded [`StoreConfig::damage_threshold`], or — on a
+    /// Something was rebuilt from scratch: the reachability side when the
+    /// gate routed it there, or — on a
     /// reachability-quiet batch, reported with `churn == 0.0` — only the
     /// pattern view, past the same gate on the bisimulation side. The two
     /// sides are gated independently (a rebuild on one never forces the
@@ -255,6 +263,9 @@ pub struct ShardApply {
     pub reach: IncStats,
     /// Wall-clock of that shard's snapshot publication alone.
     pub publish_ms: f64,
+    /// The reachability-side gate decision of this shard (`None` on a
+    /// republish — the gate is only consulted for non-empty deltas).
+    pub reach_gate: Option<GateDecision>,
 }
 
 /// What one `apply` call did — on a [`CompressedStore`] or, shard by shard,
@@ -294,6 +305,14 @@ pub struct ApplyReport {
     /// Per-shard application reports, in shard order; empty when the
     /// report came from a single [`CompressedStore`].
     pub shards: Vec<ShardApply>,
+    /// The reachability-side gate decision (`None` on a republish; on a
+    /// sharded store, the decision of the shard whose path the aggregate
+    /// `path` reports).
+    pub reach_gate: Option<GateDecision>,
+    /// The pattern-side gate decision (`None` when patterns are not
+    /// served, the bisimulation delta was empty, or — sharded — always,
+    /// pattern serving being single-store only).
+    pub pattern_gate: Option<GateDecision>,
 }
 
 impl ApplyReport {
@@ -331,6 +350,8 @@ pub(crate) struct StagedApply {
     pattern: Option<IncPatternStats>,
     path: ApplyPath,
     build_ms: f64,
+    reach_gate: Option<GateDecision>,
+    pattern_gate: Option<GateDecision>,
     /// The batch normalized against the pre-batch graph — what
     /// [`MaintainedReachability::recover_from_failed`] needs to invert the
     /// application exactly on the discard path.
@@ -341,6 +362,13 @@ impl StagedApply {
     /// The staged successor snapshot (not yet served).
     pub(crate) fn snapshot(&self) -> &Arc<Snapshot> {
         &self.snapshot
+    }
+
+    /// The publication path the stage took — the sharded router reads this
+    /// to decide which shards' boundary summary-edges can be carried over
+    /// (a republished shard's local answers are unchanged by construction).
+    pub(crate) fn path(&self) -> ApplyPath {
+        self.path
     }
 }
 
@@ -364,16 +392,33 @@ pub struct CompressedStore {
     config: StoreConfig,
     writer: Mutex<Writer>,
     current: RwLock<Arc<Snapshot>>,
+    /// The measuring cost controller routing patch-vs-rebuild (observed in
+    /// every [`GateMode`], consulted under `Adaptive`). Shared across all
+    /// shard writers of a sharded store; poison-recovered like the rest of
+    /// the writer state.
+    gate: Arc<Mutex<GateController>>,
 }
 
 impl CompressedStore {
     /// Compresses `g`, builds the version-0 snapshot, and takes ownership of
     /// the graph for future maintenance.
     pub fn new(g: LabeledGraph, config: StoreConfig) -> Self {
+        Self::new_with_gate(g, config, Arc::new(Mutex::new(GateController::new())))
+    }
+
+    /// [`CompressedStore::new`] against a caller-owned [`GateController`] —
+    /// how the sharded router gives all its shard writers one shared
+    /// controller, so every shard's observations train the same cost
+    /// model.
+    pub(crate) fn new_with_gate(
+        g: LabeledGraph,
+        config: StoreConfig,
+        gate: Arc<Mutex<GateController>>,
+    ) -> Self {
         let pattern = config
             .serve_patterns
-            .then(|| MaintainedPattern::new(g.clone()));
-        let reach = MaintainedReachability::new(g);
+            .then(|| MaintainedPattern::new_with_threads(g.clone(), config.threads));
+        let reach = MaintainedReachability::new_with_threads(g, config.threads);
         let snapshot = Snapshot::build(
             0,
             &reach.stable_quotient(),
@@ -392,6 +437,7 @@ impl CompressedStore {
                 log: None,
             }),
             current: RwLock::new(Arc::new(snapshot)),
+            gate,
         }
     }
 
@@ -460,18 +506,21 @@ impl CompressedStore {
     /// publishes a fresh snapshot. Concurrent callers are serialized;
     /// readers are never blocked (except for the pointer swap itself).
     ///
-    /// Publication is **delta-aware on both sides**. Reachability: when the
-    /// batch's [`PartitionDelta`] churns at most
-    /// [`StoreConfig::damage_threshold`] of the live classes, the new
-    /// snapshot is derived from the previous one ([`Snapshot::apply_delta`]
-    /// — patched CSR rows, patched node index, scoped 2-hop re-labeling);
-    /// larger deltas rebuild from scratch, and no-op deltas republish.
-    /// Pattern (when served): the bisimulation delta is gated by the same
-    /// threshold against the live bisimulation classes — an empty delta
-    /// shares the previous [`PatternView`] pointer-wise, churn at most the
-    /// threshold row-patches it ([`PatternView::apply_delta`]), and heavier
-    /// churn rebuilds only the view, independently of what the reachability
-    /// side did. [`ApplyReport::path`] records both decisions.
+    /// Publication is **delta-aware on both sides**, routed per side by the
+    /// [`GateController`] under [`StoreConfig::gate`]. Reachability: when
+    /// the gate routes the batch's [`PartitionDelta`] to the patch path the
+    /// new snapshot is derived from the previous one
+    /// ([`Snapshot::apply_delta`] — patched CSR rows, patched node index,
+    /// scoped 2-hop re-labeling); otherwise it rebuilds from scratch, and
+    /// no-op deltas republish. Pattern (when served): the bisimulation
+    /// delta is routed by the same controller's independent bisim-side
+    /// state — an empty delta shares the previous [`PatternView`]
+    /// pointer-wise, a patch-routed delta row-patches it
+    /// ([`PatternView::apply_delta`]), and a rebuild-routed one rebuilds
+    /// only the view, independently of what the reachability side did.
+    /// [`ApplyReport::path`] records both routes;
+    /// [`ApplyReport::reach_gate`] / [`ApplyReport::pattern_gate`] record
+    /// the decisions with their predicted costs.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     ///
@@ -576,17 +625,40 @@ impl CompressedStore {
             fail_point!("store/stage");
             let build_start = std::time::Instant::now();
             let prev = self.load();
-            let (pattern_view, pattern_churn, pattern_patched) = match (&w.pattern, &pattern_result)
-            {
-                (Some(p), Some((_, pdelta))) => {
-                    self.derive_pattern_view(&prev, p, pdelta, force_rebuild)
-                }
-                _ => (None, None, false),
-            };
-            let (snapshot, path) = if force_rebuild {
+            // Pattern side first, under its own clock: its derivation cost
+            // is what trains the controller's bisim-side EWMAs, so it must
+            // not be conflated with the reachability build below.
+            let pattern_start = std::time::Instant::now();
+            let (pattern_view, pattern_churn, pattern_patched, pattern_gate) =
+                match (&w.pattern, &pattern_result) {
+                    (Some(p), Some((_, pdelta))) => {
+                        self.derive_pattern_view(&prev, p, pdelta, force_rebuild)
+                    }
+                    _ => (None, None, false, None),
+                };
+            if pattern_churn.is_some() {
+                // A view was actually built or patched (the shared-pointer
+                // path reports no churn and costs nothing): feed the
+                // observed cost back, whatever the mode.
+                let pattern_ms = pattern_start.elapsed().as_secs_f64() * 1e3;
+                let churned = pattern_result
+                    .as_ref()
+                    .map(|(_, pdelta)| pdelta.churned())
+                    .unwrap_or(0);
+                lock_recover(&self.gate).observe(
+                    GateSide::Bisim,
+                    pattern_patched,
+                    churned,
+                    pattern_ms,
+                );
+            }
+            // Reachability side under its own clock, for the same reason.
+            let reach_start = std::time::Instant::now();
+            let (snapshot, path, reach_gate) = if force_rebuild {
                 // The previous snapshot's stable ids predate a rollback
                 // recompression — not a valid patch baseline, whatever the
-                // delta says.
+                // delta says (and no gate decision to record: there was no
+                // choice).
                 let sq = w.reach.stable_quotient();
                 let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
                 (
@@ -596,6 +668,7 @@ impl CompressedStore {
                         pattern_churn,
                         pattern_patched,
                     },
+                    None,
                 )
             } else if delta.is_empty() {
                 let snapshot = Snapshot::republish(&prev, next, pattern_view);
@@ -617,11 +690,19 @@ impl CompressedStore {
                         pattern_patched,
                     },
                 };
-                (snapshot, path)
+                (snapshot, path, None)
             } else {
                 let sq = w.reach.stable_quotient();
-                let churn = delta.churned() as f64 / sq.class_count().max(1) as f64;
-                if churn > self.config.damage_threshold {
+                let live = sq.class_count();
+                let churned = delta.churned();
+                let churn = churned as f64 / live.max(1) as f64;
+                let decision = lock_recover(&self.gate).decide(
+                    GateSide::Reach,
+                    self.config.gate,
+                    churned,
+                    live,
+                );
+                if !decision.patch {
                     (
                         Snapshot::build(next, &sq, pattern_view, &self.config),
                         ApplyPath::Rebuilt {
@@ -629,6 +710,7 @@ impl CompressedStore {
                             pattern_churn,
                             pattern_patched,
                         },
+                        Some(decision),
                     )
                 } else {
                     let (snapshot, two_hop_patched) =
@@ -641,23 +723,48 @@ impl CompressedStore {
                             pattern_churn,
                             pattern_patched,
                         },
+                        Some(decision),
                     )
                 }
             };
+            if force_rebuild || !delta.is_empty() {
+                // A snapshot was actually built or patched (republication
+                // costs nothing): feed the observed reach-side cost back.
+                let reach_ms = reach_start.elapsed().as_secs_f64() * 1e3;
+                let patched = matches!(path, ApplyPath::Patched { .. });
+                lock_recover(&self.gate).observe(
+                    GateSide::Reach,
+                    patched,
+                    delta.churned(),
+                    reach_ms,
+                );
+            }
             fail_point!("store/publish");
             let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
-            (reach_stats, pattern_stats, snapshot, path, build_ms)
-        }));
-        match outcome {
-            Ok((reach, pattern, snapshot, path, build_ms)) => Ok(StagedApply {
-                snapshot: Arc::new(snapshot),
-                version: next,
-                reach,
-                pattern,
+            (
+                reach_stats,
+                pattern_stats,
+                snapshot,
                 path,
                 build_ms,
-                norm,
-            }),
+                reach_gate,
+                pattern_gate,
+            )
+        }));
+        match outcome {
+            Ok((reach, pattern, snapshot, path, build_ms, reach_gate, pattern_gate)) => {
+                Ok(StagedApply {
+                    snapshot: Arc::new(snapshot),
+                    version: next,
+                    reach,
+                    pattern,
+                    path,
+                    build_ms,
+                    reach_gate,
+                    pattern_gate,
+                    norm,
+                })
+            }
             Err(payload) => {
                 self.recover_writer(w, &norm);
                 Err(StoreError::WriterFailed {
@@ -678,6 +785,8 @@ impl CompressedStore {
             pattern: staged.pattern,
             path: staged.path,
             publish_ms: staged.build_ms + swap_start.elapsed().as_secs_f64() * 1e3,
+            reach_gate: staged.reach_gate,
+            pattern_gate: staged.pattern_gate,
             shards: Vec::new(),
         }
     }
@@ -697,13 +806,14 @@ impl CompressedStore {
 
     /// Derives the pattern view the next snapshot will carry: shared
     /// pointer-wise when the batch's bisimulation [`PartitionDelta`] is
-    /// empty, row-patched from the previous snapshot's view when its churn
-    /// is at most [`StoreConfig::damage_threshold`] of the live
-    /// bisimulation classes, rebuilt from the maintainer's stable-id export
-    /// otherwise. Returns the view, the churn (`None` for the shared path),
-    /// and whether the patch path was taken. With `force_rebuild` (the
-    /// previous snapshot's stable ids predate a rollback recompression)
-    /// sharing and patching are both off the table.
+    /// empty, row-patched from the previous snapshot's view when the
+    /// [`GateController`] routes its churn to the patch path (under the
+    /// [`StoreConfig::gate`] mode), rebuilt from the maintainer's stable-id
+    /// export otherwise. Returns the view, the churn (`None` for the shared
+    /// path), whether the patch path was taken, and the gate's decision
+    /// (`None` when no choice existed). With `force_rebuild` (the previous
+    /// snapshot's stable ids predate a rollback recompression) sharing and
+    /// patching are both off the table.
     ///
     /// [`PartitionDelta`]: qpgc_graph::update::PartitionDelta
     fn derive_pattern_view(
@@ -712,10 +822,15 @@ impl CompressedStore {
         p: &MaintainedPattern,
         pdelta: &PartitionDelta,
         force_rebuild: bool,
-    ) -> (Option<Arc<PatternView>>, Option<f64>, bool) {
+    ) -> (
+        Option<Arc<PatternView>>,
+        Option<f64>,
+        bool,
+        Option<GateDecision>,
+    ) {
         if !force_rebuild && pdelta.is_empty() {
             if let Some(view) = prev.pattern_arc() {
-                return (Some(view), None, false);
+                return (Some(view), None, false, None);
             }
         }
         match prev.pattern_view() {
@@ -725,27 +840,41 @@ impl CompressedStore {
                 // and the patch path then takes the member-less export
                 // (churned members travel in the delta's births, untouched
                 // rows carry over from the previous view).
+                let churned = pdelta.churned();
                 let live = view.class_count() + pdelta.added.len() - pdelta.removed.len();
-                let churn = pdelta.churned() as f64 / live.max(1) as f64;
-                if churn <= self.config.damage_threshold {
+                let churn = churned as f64 / live.max(1) as f64;
+                let decision = lock_recover(&self.gate).decide(
+                    GateSide::Bisim,
+                    self.config.gate,
+                    churned,
+                    live,
+                );
+                if decision.patch {
                     let spq = p.stable_quotient_without_members();
                     (
                         Some(Arc::new(view.apply_delta(pdelta, &spq))),
                         Some(churn),
                         true,
+                        Some(decision),
                     )
                 } else {
                     (
                         Some(Arc::new(PatternView::build(&p.stable_quotient()))),
                         Some(churn),
                         false,
+                        Some(decision),
                     )
                 }
             }
             _ => {
                 let spq = p.stable_quotient();
                 let churn = pdelta.churned() as f64 / spq.class_count().max(1) as f64;
-                (Some(Arc::new(PatternView::build(&spq))), Some(churn), false)
+                (
+                    Some(Arc::new(PatternView::build(&spq))),
+                    Some(churn),
+                    false,
+                    None,
+                )
             }
         }
     }
@@ -836,7 +965,7 @@ mod tests {
             sample(),
             StoreConfig::builder()
                 .patterns(true)
-                .damage_threshold(f64::INFINITY)
+                .gate(GateMode::AlwaysPatch)
                 .build(),
         );
         let before = store.load();

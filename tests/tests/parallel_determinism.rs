@@ -1,0 +1,201 @@
+//! Determinism under parallelism, pinned at the store level.
+//!
+//! The parallel maintenance paths — worklist-partitioned bisimulation
+//! refinement, frozen-base 2-hop re-labeling, and the chunked
+//! reachability-signature sweeps — all promise **bit-identical** results
+//! to their sequential forms at any thread count. The kernel crates pin
+//! the raw structures (`qpgc_pattern::bisim`, `qpgc_reach::two_hop`);
+//! this suite drives the same seeded update streams through whole
+//! [`CompressedStore`]s configured at 1, 2, and 4 threads and asserts the
+//! *published snapshots* coincide at every version:
+//!
+//! * the quotient CSR edge-for-edge and the stable class index node for
+//!   node,
+//! * the pattern view (quotient edges, row labels, node index) when
+//!   serving patterns,
+//! * the 2-hop index's landmark order, entry count, and every pairwise
+//!   answer when the index is enabled.
+//!
+//! Streams run under [`GateMode::AlwaysPatch`] (every batch exercises the
+//! delta path, where the parallel re-labeling lives) and under the
+//! default [`GateMode::Fixed`] boundary (batches mix patch and rebuild,
+//! so the parallel from-scratch partition paths get exercised too).
+
+use qpgc_graph::{LabeledGraph, NodeId, UpdateBatch};
+use qpgc_serve::{CompressedStore, GateMode, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+fn random_labeled_graph(rng: &mut StdRng, n_max: usize) -> LabeledGraph {
+    let n = rng.gen_range(4..n_max);
+    let m = rng.gen_range(n..n * 3);
+    let mut g = LabeledGraph::new();
+    for _ in 0..n {
+        g.add_node_with_label(LABELS[rng.gen_range(0..LABELS.len())]);
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        g.add_edge(NodeId(u), NodeId(v));
+    }
+    g
+}
+
+fn random_batch(rng: &mut StdRng, n: usize, count: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    // A batch may not both insert and delete the same edge: remember the
+    // first kind drawn per edge and repeat it.
+    let mut kinds: std::collections::HashMap<(u32, u32), bool> = std::collections::HashMap::new();
+    for _ in 0..count {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        let drawn = rng.gen_bool(0.6);
+        let is_insert = *kinds.entry((u, v)).or_insert(drawn);
+        if is_insert {
+            batch.insert(NodeId(u), NodeId(v));
+        } else {
+            batch.delete(NodeId(u), NodeId(v));
+        }
+    }
+    batch
+}
+
+/// Drives one seeded stream through three stores differing only in
+/// `threads` and asserts every published snapshot is identical across
+/// them.
+fn run_thread_differential(seed: u64, gate: GateMode, patterns: bool, two_hop: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = random_labeled_graph(&mut rng, 20);
+    let config = |threads: usize| {
+        let mut builder = StoreConfig::builder().gate(gate).threads(threads);
+        if patterns {
+            builder = builder.patterns(true);
+        }
+        if two_hop {
+            builder = builder.two_hop(Default::default());
+        }
+        builder.build()
+    };
+    let stores: Vec<CompressedStore> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| CompressedStore::new(g.clone(), config(t)))
+        .collect();
+    for step in 0..4 {
+        let count = rng.gen_range(1..5);
+        let batch = random_batch(&mut rng, g.node_count(), count);
+        for store in &stores {
+            store.apply(&batch);
+        }
+        batch.apply_to(&mut g);
+
+        let base = stores[0].load();
+        for (si, store) in stores.iter().enumerate().skip(1) {
+            let snap = store.load();
+            let tag = format!("seed {seed} step {step} store {si}");
+            assert_eq!(snap.version(), base.version(), "{tag}: version");
+            assert_eq!(
+                snap.compressed_graph().edges().collect::<Vec<_>>(),
+                base.compressed_graph().edges().collect::<Vec<_>>(),
+                "{tag}: quotient edges diverged across thread counts"
+            );
+            assert_eq!(snap.class_count(), base.class_count(), "{tag}: class count");
+            for v in g.nodes() {
+                assert_eq!(snap.class_of(v), base.class_of(v), "{tag}: class_of({v})");
+            }
+            match (snap.pattern_view(), base.pattern_view()) {
+                (Some(pv), Some(bv)) => {
+                    assert_eq!(
+                        pv.graph().edges().collect::<Vec<_>>(),
+                        bv.graph().edges().collect::<Vec<_>>(),
+                        "{tag}: pattern quotient diverged"
+                    );
+                    assert_eq!(
+                        pv.graph().labels(),
+                        bv.graph().labels(),
+                        "{tag}: pattern row labels diverged"
+                    );
+                    for v in g.nodes() {
+                        assert_eq!(pv.class_of(v), bv.class_of(v), "{tag}: pattern index {v}");
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("{tag}: pattern view present in one store only"),
+            }
+            match (snap.two_hop(), base.two_hop()) {
+                (Some(idx), Some(bidx)) => {
+                    // Structural 2-hop equality holds only when every
+                    // store provably took the same patch/rebuild route
+                    // (a patched index keeps tombstones a rebuild
+                    // compacts away). Adaptive routing depends on
+                    // measured wall-clock, so there only the answers are
+                    // pinned.
+                    if gate != GateMode::Adaptive {
+                        assert_eq!(
+                            idx.landmark_order(),
+                            bidx.landmark_order(),
+                            "{tag}: 2-hop landmark order diverged"
+                        );
+                        assert_eq!(
+                            idx.label_entries(),
+                            bidx.label_entries(),
+                            "{tag}: 2-hop entry count diverged"
+                        );
+                    }
+                    // The index is keyed by quotient class ids, and the
+                    // class index was just asserted equal — so probing
+                    // both indexes at the same class pair is well-typed.
+                    for u in g.nodes() {
+                        for w in g.nodes() {
+                            let (Some(cu), Some(cw)) = (base.class_of(u), base.class_of(w)) else {
+                                continue;
+                            };
+                            assert_eq!(
+                                idx.query(NodeId(cu), NodeId(cw)),
+                                bidx.query(NodeId(cu), NodeId(cw)),
+                                "{tag}: 2-hop answer diverged on ({u},{w})"
+                            );
+                        }
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("{tag}: 2-hop index present in one store only"),
+            }
+        }
+    }
+}
+
+/// Always-patch streams with the 2-hop index: every batch runs the scoped
+/// re-labeling, which at `threads > 1` runs its per-landmark passes
+/// concurrently against the frozen label base.
+#[test]
+fn always_patch_two_hop_streams_are_thread_count_invariant() {
+    for i in 0..10 {
+        run_thread_differential(9100 + i, GateMode::AlwaysPatch, false, true);
+    }
+}
+
+/// Pattern-serving streams under the default fixed gate: batches mix
+/// row-patched and rebuilt views, so both the parallel refinement inside
+/// the maintainers and the from-scratch partition path are covered.
+#[test]
+fn pattern_streams_are_thread_count_invariant() {
+    for i in 0..10 {
+        run_thread_differential(9200 + i, GateMode::default(), true, false);
+    }
+}
+
+/// Everything on at once — patterns, 2-hop, adaptive gate. The adaptive
+/// controller's decisions depend on *measured wall-clock*, which is not
+/// deterministic across runs — but whichever path it routes each batch
+/// to, the published structures must still be identical across thread
+/// counts, because patch and rebuild converge to the same stable-id
+/// structures. (The per-store controllers may route differently; the
+/// assertion is about structure, not route.)
+#[test]
+fn adaptive_streams_are_thread_count_invariant() {
+    for i in 0..10 {
+        run_thread_differential(9300 + i, GateMode::Adaptive, true, true);
+    }
+}
