@@ -1,8 +1,8 @@
 //! Writes a machine-readable perf snapshot (see `qpgc_bench::perf`).
 //!
 //! ```text
-//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_8.json
-//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_7.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --out BENCH_9.json
+//! cargo run --release -p qpgc_bench --bin bench_json -- --compare BENCH_8.json
 //! QPGC_SCALE=500 cargo run --release -p qpgc_bench --bin bench_json
 //! ```
 //!
@@ -16,7 +16,7 @@
 use qpgc_bench::perf::{compare_report, perf_snapshot};
 
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut compare_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -149,6 +149,35 @@ fn main() {
         eprintln!(
             "  parallel_maintenance {} {} @ {} thread(s): {:.3} ms ({:.2}x)",
             row.task, row.dataset, row.threads, row.elapsed_ms, row.speedup
+        );
+    }
+
+    for row in &snap.succinct_snapshot {
+        eprintln!(
+            "  succinct_snapshot {} (1/{}): {} -> {} bytes ({:.3}x, {:.2} bits/edge), query {:.3} ms vs {:.3} ms plain ({:.2}x)",
+            row.dataset,
+            row.scale,
+            row.plain_bytes,
+            row.succinct_bytes,
+            row.heap_ratio,
+            row.bits_per_edge,
+            row.succinct_query_ms,
+            row.plain_query_ms,
+            row.query_ratio
+        );
+    }
+    for row in &snap.succinct_boot {
+        eprintln!(
+            "  succinct_boot {} (1/{}, {} batches of {}): {} bytes on disk, save {:.3} ms, load {:.3} ms, boot {:.3} ms vs full replay {:.3} ms",
+            row.dataset,
+            row.scale,
+            row.batches,
+            row.batch_size,
+            row.snapshot_file_bytes,
+            row.save_ms,
+            row.load_ms,
+            row.boot_ms,
+            row.replay_ms
         );
     }
 

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod codec;
 pub mod csr;
 pub mod error;
 pub mod graph;
@@ -63,6 +64,7 @@ pub mod rank;
 pub mod reach_sets;
 pub mod scc;
 pub mod stats;
+pub mod succinct;
 pub mod transitive;
 pub mod traversal;
 pub mod update;
@@ -76,5 +78,6 @@ pub use ids::{Label, NodeId};
 pub use partition::NodePartition;
 pub use scc::Condensation;
 pub use stats::GraphStats;
+pub use succinct::{CompressedCsr, EliasFano};
 pub use update::{BatchError, ClassBirth, EdgeDelta, PartitionDelta, Update, UpdateBatch};
 pub use view::GraphView;

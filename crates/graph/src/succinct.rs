@@ -1,0 +1,933 @@
+//! Succinct gap/ζ-coded CSR backend with lazy per-row decode.
+//!
+//! [`CompressedCsr`] stores the forward adjacency of a [`CsrGraph`] the way
+//! the WebGraph family does: each row's sorted targets become a first
+//! target δ-coded as a signed offset from the source, followed by strictly
+//! positive gaps in the ζ_k code (k chosen per graph by an exact bit-count
+//! sweep), with Elias–Fano coded row offsets so any row is decodable in
+//! isolation. Decoding is **lazy**: [`CompressedCsr::neighbors`] walks the
+//! bit stream one target at a time, and `has_edge` early-exits the scan as
+//! soon as the decoded targets pass the probe — a point query never
+//! inflates a whole row, let alone the graph.
+//!
+//! Heavy hub rows defeat gap codes (their gaps are small but there are tens
+//! of thousands of them, and linear `has_edge` scans would be unbounded),
+//! so rows with degree ≥ [`HUB_DEGREE`] are held out into a raw sorted
+//! exception list: slice iteration for `neighbors`, binary search for
+//! `has_edge`.
+//!
+//! The backend is **read-only and forward-only** by design. The
+//! slice-returning [`crate::GraphView`] contract (`out_neighbors(&self) ->
+//! &[NodeId]`) cannot be met by a lazy decoder without caching, so
+//! consumers dispatch over an explicit plain/succinct backend enum (see
+//! `qpgc_serve`); anything that needs reverse edges, labels-by-slice or
+//! in-place patching decodes back to a [`CsrGraph`] with
+//! [`CompressedCsr::to_csr`] first.
+
+use crate::codec::{unzigzag, zeta_len, zigzag, BitReader, BitWriter};
+use crate::csr::CsrGraph;
+use crate::ids::{Label, LabelInterner, NodeId};
+
+/// Rows with at least this many targets bypass the bit stream into the raw
+/// exception list. 128 keeps coded `has_edge` scans bounded by a couple of
+/// cache lines of decode work while exempting only the extreme tail of a
+/// power-law degree distribution.
+pub const HUB_DEGREE: usize = 128;
+
+/// Every `SELECT_SAMPLE`-th one in the Elias–Fano upper-bits vector gets
+/// its position sampled, bounding a `get` to one sampled jump plus at most
+/// `SELECT_SAMPLE` popcounted bits. 8 keeps the in-word skip loop short
+/// enough for point queries while costing only 4 bits/entry of samples.
+const SELECT_SAMPLE: usize = 8;
+
+/// Mask with the `n` lowest bits set (`n ≤ 64`).
+#[inline]
+fn mask(n: usize) -> u64 {
+    if n >= 64 {
+        !0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[inline]
+fn get_bits_lsb(words: &[u64], pos: usize, width: usize) -> u64 {
+    let word_idx = pos / 64;
+    let off = pos % 64;
+    let mut v = words[word_idx] >> off;
+    if off + width > 64 {
+        v |= words[word_idx + 1] << (64 - off);
+    }
+    v & mask(width)
+}
+
+/// Elias–Fano encoding of a monotone non-decreasing sequence: each value
+/// splits into `l` low bits stored verbatim and high bits unary-coded into
+/// a bit vector, for `n(2 + ⌈log₂(u/n)⌉)` bits total — within half a bit
+/// per element of the information-theoretic optimum.
+#[derive(Clone, Debug)]
+pub struct EliasFano {
+    n: usize,
+    l: u32,
+    low: Vec<u64>,
+    high: Vec<u64>,
+    /// Bit position in `high` of every [`SELECT_SAMPLE`]-th one.
+    samples: Vec<u32>,
+}
+
+impl EliasFano {
+    /// Encodes `values`, which must be monotone non-decreasing.
+    pub fn new(values: &[u64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                l: 0,
+                low: Vec::new(),
+                high: Vec::new(),
+                samples: Vec::new(),
+            };
+        }
+        let u = values[n - 1] + 1;
+        let l = if u > n as u64 {
+            (u / n as u64).ilog2()
+        } else {
+            0
+        };
+        let mut low = vec![0u64; (n * l as usize).div_ceil(64) + 1];
+        let high_bits = (u >> l) as usize + n + 1;
+        let mut high = vec![0u64; high_bits.div_ceil(64)];
+        let mut samples = Vec::with_capacity(n / SELECT_SAMPLE + 1);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(v >= prev, "EliasFano input must be monotone");
+            prev = v;
+            if l > 0 {
+                let pos = i * l as usize;
+                low[pos / 64] |= (v & mask(l as usize)) << (pos % 64);
+                if pos % 64 + l as usize > 64 {
+                    low[pos / 64 + 1] |= (v & mask(l as usize)) >> (64 - pos % 64);
+                }
+            }
+            let bit = (v >> l) as usize + i;
+            high[bit / 64] |= 1u64 << (bit % 64);
+            if i % SELECT_SAMPLE == 0 {
+                debug_assert!(bit <= u32::MAX as usize);
+                samples.push(bit as u32);
+            }
+        }
+        Self {
+            n,
+            l,
+            low,
+            high,
+            samples,
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns the `i`-th value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (or returns garbage in release builds) if `i ≥ len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.n);
+        let l = self.l as usize;
+        let low = if l == 0 {
+            0
+        } else {
+            get_bits_lsb(&self.low, i * l, l)
+        };
+        // select₁(i) on the high bits: jump to the nearest sample at or
+        // below i, then popcount forward.
+        let j = i / SELECT_SAMPLE;
+        let mut pos = self.samples[j] as usize;
+        let mut remaining = i - j * SELECT_SAMPLE;
+        if remaining > 0 {
+            pos += 1;
+            let mut word_idx = pos / 64;
+            let mut word = self.high[word_idx] & (!0u64 << (pos % 64));
+            loop {
+                let ones = word.count_ones() as usize;
+                if ones >= remaining {
+                    let mut w = word;
+                    for _ in 1..remaining {
+                        w &= w - 1;
+                    }
+                    pos = word_idx * 64 + w.trailing_zeros() as usize;
+                    break;
+                }
+                remaining -= ones;
+                word_idx += 1;
+                word = self.high[word_idx];
+            }
+        }
+        (((pos - i) as u64) << self.l) | low
+    }
+
+    /// Heap footprint in bytes (samples included).
+    pub fn heap_bytes(&self) -> usize {
+        self.low.capacity() * 8 + self.high.capacity() * 8 + self.samples.capacity() * 4
+    }
+
+    /// Number of low bits per element (serialization accessor).
+    pub fn low_bit_width(&self) -> u32 {
+        self.l
+    }
+
+    /// Packed low-bits words (serialization accessor).
+    pub fn low_words(&self) -> &[u64] {
+        &self.low
+    }
+
+    /// Upper-bits unary vector words (serialization accessor).
+    pub fn high_words(&self) -> &[u64] {
+        &self.high
+    }
+
+    /// Rebuilds an encoding from its serialized parts, re-deriving the
+    /// select samples. Fails if `high` does not contain exactly `n` ones —
+    /// the cheap structural check a caller's CRC framing cannot subsume.
+    pub fn from_parts(n: usize, l: u32, low: Vec<u64>, high: Vec<u64>) -> Result<Self, String> {
+        if l >= 64 {
+            return Err(format!("EliasFano low-bit width {l} out of range"));
+        }
+        if low.len() < (n * l as usize).div_ceil(64) + usize::from(n > 0 && l > 0) {
+            return Err("EliasFano low-bits vector too short".into());
+        }
+        let ones: usize = high.iter().map(|w| w.count_ones() as usize).sum();
+        if ones != n {
+            return Err(format!(
+                "EliasFano high-bits vector has {ones} ones, expected {n}"
+            ));
+        }
+        let mut samples = Vec::with_capacity(n / SELECT_SAMPLE + 1);
+        let mut seen = 0usize;
+        'scan: for (wi, &w) in high.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                if seen.is_multiple_of(SELECT_SAMPLE) {
+                    let bit = wi * 64 + w.trailing_zeros() as usize;
+                    if bit > u32::MAX as usize {
+                        return Err("EliasFano high-bits vector too long".into());
+                    }
+                    samples.push(bit as u32);
+                }
+                seen += 1;
+                if seen == n {
+                    break 'scan;
+                }
+                w &= w - 1;
+            }
+        }
+        Ok(Self {
+            n,
+            l,
+            low,
+            high,
+            samples,
+        })
+    }
+}
+
+/// Node-label storage of a [`CompressedCsr`]: quotient graphs are uniformly
+/// labeled (every hypernode carries the paper's `σ`), and storing that one
+/// label beats a 4-bytes-per-node vector by the whole vector.
+#[derive(Clone, Debug)]
+enum LabelStore {
+    /// Every node carries the same label.
+    Uniform(Label),
+    /// Per-node labels, indexed by node id.
+    PerNode(Vec<Label>),
+}
+
+/// WebGraph-style succinct CSR: gap/ζ-coded forward adjacency with
+/// Elias–Fano row offsets, lazy per-row decode, and a raw exception list
+/// for hub rows. See the [module docs](self) for the encoding.
+#[derive(Clone, Debug)]
+pub struct CompressedCsr {
+    n: usize,
+    m: usize,
+    k: u32,
+    data: Vec<u64>,
+    data_bits: usize,
+    /// Bit offset of each coded row (`n` entries; hub rows span zero bits).
+    offsets: EliasFano,
+    /// Sorted ids of the held-out hub rows.
+    hub_rows: Vec<u32>,
+    /// Derived bitset over node ids: bit `v` set iff `v` is a hub row.
+    /// Not persisted — rebuilt from `hub_rows` by every constructor. Makes
+    /// the common non-hub check in point queries a single bit test instead
+    /// of a binary search.
+    hub_mask: Vec<u64>,
+    /// Prefix offsets into `hub_targets`, one per hub row plus the end.
+    hub_offsets: Vec<u32>,
+    /// Concatenated raw sorted targets of the hub rows.
+    hub_targets: Vec<NodeId>,
+    labels: LabelStore,
+    interner: LabelInterner,
+}
+
+impl CompressedCsr {
+    /// Packs `csr`'s forward adjacency. The ζ parameter `k` is chosen by an
+    /// exact bit-count sweep over `k ∈ 1..=4` on the actual gap stream.
+    pub fn from_csr(csr: &CsrGraph) -> Self {
+        let n = csr.node_count();
+        let labels = csr.labels();
+        let label_store = match labels.first() {
+            Some(&first) if labels.iter().all(|&l| l == first) => LabelStore::Uniform(first),
+            _ => LabelStore::PerNode(labels.to_vec()),
+        };
+
+        // Exact coded size per candidate k, over the gaps that will
+        // actually be ζ-coded (non-hub rows, second target onward).
+        let mut k_cost = [0usize; 4];
+        for v in 0..n {
+            let row = csr.out_neighbors(NodeId(v as u32));
+            if row.len() >= HUB_DEGREE {
+                continue;
+            }
+            for w in row.windows(2) {
+                let gap = (w[1].0 - w[0].0) as u64;
+                for (ki, cost) in k_cost.iter_mut().enumerate() {
+                    *cost += zeta_len(gap, ki as u32 + 1);
+                }
+            }
+        }
+        let k = k_cost
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .map(|(ki, _)| ki as u32 + 1)
+            .unwrap_or(2);
+
+        let mut w = BitWriter::new();
+        let mut row_offsets = Vec::with_capacity(n);
+        let mut hub_rows = Vec::new();
+        let mut hub_offsets = vec![0u32];
+        let mut hub_targets = Vec::new();
+        let mut m = 0usize;
+        for v in 0..n {
+            let row = csr.out_neighbors(NodeId(v as u32));
+            m += row.len();
+            row_offsets.push(w.bit_len() as u64);
+            if row.len() >= HUB_DEGREE {
+                hub_rows.push(v as u32);
+                hub_targets.extend_from_slice(row);
+                hub_offsets.push(hub_targets.len() as u32);
+                continue;
+            }
+            w.write_gamma(row.len() as u64 + 1);
+            if let Some(&first) = row.first() {
+                w.write_delta(zigzag(first.0 as i64 - v as i64) + 1);
+                for pair in row.windows(2) {
+                    w.write_zeta((pair[1].0 - pair[0].0) as u64, k);
+                }
+            }
+        }
+        let (data, data_bits) = w.finish();
+        let hub_mask = build_hub_mask(n, &hub_rows);
+        Self {
+            n,
+            m,
+            k,
+            data,
+            data_bits,
+            offsets: EliasFano::new(&row_offsets),
+            hub_rows,
+            hub_mask,
+            hub_offsets,
+            hub_targets,
+            labels: label_store,
+            interner: csr.interner().clone(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// The chosen ζ parameter.
+    pub fn zeta_k(&self) -> u32 {
+        self.k
+    }
+
+    /// Index of `v` in the hub exception list, if it is a hub row. The
+    /// bitmask settles the common non-hub case in one bit test; the binary
+    /// search only runs to rank an actual hub.
+    #[inline]
+    fn hub_index(&self, v: u32) -> Option<usize> {
+        if self.hub_mask[v as usize / 64] & (1u64 << (v % 64)) == 0 {
+            return None;
+        }
+        self.hub_rows.binary_search(&v).ok()
+    }
+
+    #[inline]
+    fn hub_slice(&self, hub: usize) -> &[NodeId] {
+        &self.hub_targets[self.hub_offsets[hub] as usize..self.hub_offsets[hub + 1] as usize]
+    }
+
+    /// Out-degree of `v`. Hub rows answer from the exception list; coded
+    /// rows decode only the γ-coded degree at the row start.
+    pub fn degree(&self, v: NodeId) -> usize {
+        assert!(v.index() < self.n, "node {v} out of bounds");
+        if let Some(h) = self.hub_index(v.0) {
+            return self.hub_slice(h).len();
+        }
+        let mut r = BitReader::at(&self.data, self.offsets.get(v.index()) as usize);
+        (r.read_gamma() - 1) as usize
+    }
+
+    /// Lazy iterator over `v`'s out-neighbors in ascending id order.
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        assert!(v.index() < self.n, "node {v} out of bounds");
+        if let Some(h) = self.hub_index(v.0) {
+            return Neighbors::Hub(self.hub_slice(h).iter());
+        }
+        let mut reader = BitReader::at(&self.data, self.offsets.get(v.index()) as usize);
+        let left = (reader.read_gamma() - 1) as u32;
+        Neighbors::Coded {
+            reader,
+            k: self.k,
+            left,
+            v: v.0,
+            prev: 0,
+            first: true,
+        }
+    }
+
+    /// `true` when the edge `u → w` exists. Hub rows binary-search the raw
+    /// exception slice; coded rows decode-and-scan with an early exit as
+    /// soon as the ascending targets pass `w`.
+    pub fn has_edge(&self, u: NodeId, w: NodeId) -> bool {
+        assert!(u.index() < self.n, "node {u} out of bounds");
+        if let Some(h) = self.hub_index(u.0) {
+            return self.hub_slice(h).binary_search(&w).is_ok();
+        }
+        for t in self.neighbors(u) {
+            if t.0 >= w.0 {
+                return t.0 == w.0;
+            }
+        }
+        false
+    }
+
+    /// Label of node `v`.
+    pub fn label_of(&self, v: NodeId) -> Label {
+        assert!(v.index() < self.n, "node {v} out of bounds");
+        match &self.labels {
+            LabelStore::Uniform(l) => *l,
+            LabelStore::PerNode(ls) => ls[v.index()],
+        }
+    }
+
+    /// The label interner shared with the originating graph.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Decodes back to a plain [`CsrGraph`] — labels, interner, and edge
+    /// set all round-trip exactly, so `to_csr(from_csr(g)) == g` up to
+    /// capacity. The escape hatch for consumers that need reverse
+    /// adjacency, slices, or [`CsrGraph::patch`].
+    pub fn to_csr(&self) -> CsrGraph {
+        let labels = match &self.labels {
+            LabelStore::Uniform(l) => vec![*l; self.n],
+            LabelStore::PerNode(ls) => ls.clone(),
+        };
+        let mut edges = Vec::with_capacity(self.m);
+        for v in 0..self.n {
+            let v = NodeId(v as u32);
+            for t in self.neighbors(v) {
+                edges.push((v, t));
+            }
+        }
+        CsrGraph::from_edges(labels, self.interner.clone(), edges)
+    }
+
+    /// Heap footprint in bytes. Like [`CsrGraph::heap_bytes`], the interner
+    /// is excluded — it is shared with the originating graph.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * 8
+            + self.offsets.heap_bytes()
+            + self.hub_rows.capacity() * 4
+            + self.hub_mask.capacity() * 8
+            + self.hub_offsets.capacity() * 4
+            + self.hub_targets.capacity() * 4
+            + match &self.labels {
+                LabelStore::Uniform(_) => 0,
+                LabelStore::PerNode(ls) => ls.capacity() * 4,
+            }
+    }
+
+    /// Mean coded bits per edge (hub rows count their raw 32 bits).
+    pub fn bits_per_edge(&self) -> f64 {
+        if self.m == 0 {
+            return 0.0;
+        }
+        (self.data_bits + self.hub_targets.len() * 32) as f64 / self.m as f64
+    }
+
+    /// Serialized parts in a stable order, for the on-disk snapshot layout
+    /// (see `qpgc_serve`'s persistence module). Word vectors are exposed
+    /// as-is so writers can emit them without re-encoding.
+    pub fn parts(&self) -> SuccinctParts<'_> {
+        SuccinctParts {
+            n: self.n,
+            m: self.m,
+            k: self.k,
+            data_bits: self.data_bits,
+            data: &self.data,
+            offsets: &self.offsets,
+            hub_rows: &self.hub_rows,
+            hub_offsets: &self.hub_offsets,
+            hub_targets: &self.hub_targets,
+            uniform_label: match &self.labels {
+                LabelStore::Uniform(l) => Some(*l),
+                LabelStore::PerNode(_) => None,
+            },
+            per_node_labels: match &self.labels {
+                LabelStore::Uniform(_) => &[],
+                LabelStore::PerNode(ls) => ls,
+            },
+            interner: &self.interner,
+        }
+    }
+
+    /// Rebuilds a graph from deserialized parts, validating the structural
+    /// invariants a CRC cannot (counts, monotonicity, prefix shape).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        n: usize,
+        m: usize,
+        k: u32,
+        data_bits: usize,
+        data: Vec<u64>,
+        offsets: EliasFano,
+        hub_rows: Vec<u32>,
+        hub_offsets: Vec<u32>,
+        hub_targets: Vec<NodeId>,
+        labels: Option<Vec<Label>>,
+        uniform_label: Label,
+        interner: LabelInterner,
+    ) -> Result<Self, String> {
+        if !(1..=16).contains(&k) {
+            return Err(format!("zeta parameter {k} out of range"));
+        }
+        if data.len() < data_bits.div_ceil(64) {
+            return Err("coded stream shorter than its bit length".into());
+        }
+        if offsets.len() != n {
+            return Err(format!(
+                "row-offset count {} does not match node count {n}",
+                offsets.len()
+            ));
+        }
+        if hub_offsets.len() != hub_rows.len() + 1
+            || hub_offsets.first().is_some_and(|&f| f != 0)
+            || hub_offsets
+                .last()
+                .is_some_and(|&l| l as usize != hub_targets.len())
+            || hub_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("hub offset table malformed".into());
+        }
+        if hub_rows.windows(2).any(|w| w[0] >= w[1])
+            || hub_rows.last().is_some_and(|&r| r as usize >= n)
+        {
+            return Err("hub row ids not sorted or out of bounds".into());
+        }
+        if let Some(ls) = &labels {
+            if ls.len() != n {
+                return Err(format!("label count {} does not match {n} nodes", ls.len()));
+            }
+        }
+        let labels = match labels {
+            Some(ls) => LabelStore::PerNode(ls),
+            None => LabelStore::Uniform(uniform_label),
+        };
+        let hub_mask = build_hub_mask(n, &hub_rows);
+        Ok(Self {
+            n,
+            m,
+            k,
+            data,
+            data_bits,
+            offsets,
+            hub_rows,
+            hub_mask,
+            hub_offsets,
+            hub_targets,
+            labels,
+            interner,
+        })
+    }
+}
+
+/// Bitset over node ids with the hub rows' bits set.
+fn build_hub_mask(n: usize, hub_rows: &[u32]) -> Vec<u64> {
+    let mut mask = vec![0u64; n.div_ceil(64)];
+    for &v in hub_rows {
+        mask[v as usize / 64] |= 1u64 << (v % 64);
+    }
+    mask
+}
+
+/// Borrowed serialization view of a [`CompressedCsr`], produced by
+/// [`CompressedCsr::parts`].
+#[derive(Clone, Copy, Debug)]
+pub struct SuccinctParts<'a> {
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// ζ parameter.
+    pub k: u32,
+    /// Valid bits in `data`.
+    pub data_bits: usize,
+    /// Coded adjacency stream.
+    pub data: &'a [u64],
+    /// Elias–Fano row offsets.
+    pub offsets: &'a EliasFano,
+    /// Sorted hub row ids.
+    pub hub_rows: &'a [u32],
+    /// Hub prefix offsets.
+    pub hub_offsets: &'a [u32],
+    /// Raw hub targets.
+    pub hub_targets: &'a [NodeId],
+    /// The single label when uniformly labeled.
+    pub uniform_label: Option<Label>,
+    /// Per-node labels when not uniform (empty otherwise).
+    pub per_node_labels: &'a [Label],
+    /// Label interner.
+    pub interner: &'a LabelInterner,
+}
+
+/// Lazy neighbor iterator of [`CompressedCsr::neighbors`]: either a raw
+/// slice walk (hub rows) or an in-place bit-stream decode (coded rows).
+#[derive(Clone, Debug)]
+pub enum Neighbors<'a> {
+    /// Hub row: iterate the raw exception slice.
+    Hub(std::slice::Iter<'a, NodeId>),
+    /// Coded row: decode targets one at a time.
+    Coded {
+        /// Cursor into the coded stream, positioned after the degree.
+        reader: BitReader<'a>,
+        /// ζ parameter of the stream.
+        k: u32,
+        /// Targets left to decode.
+        left: u32,
+        /// Source node id (reference point of the first target).
+        v: u32,
+        /// Previously decoded target.
+        prev: u32,
+        /// `true` until the first target has been decoded.
+        first: bool,
+    },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            Neighbors::Hub(it) => it.next().copied(),
+            Neighbors::Coded {
+                reader,
+                k,
+                left,
+                v,
+                prev,
+                first,
+            } => {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+                let t = if *first {
+                    *first = false;
+                    let z = reader.read_delta() - 1;
+                    (*v as i64 + unzigzag(z)) as u32
+                } else {
+                    *prev + reader.read_zeta(*k) as u32
+                };
+                *prev = t;
+                Some(NodeId(t))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Neighbors::Hub(it) => it.size_hint(),
+            Neighbors::Coded { left, .. } => (*left as usize, Some(*left as usize)),
+        }
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_csr(n: usize, m: usize, seed: u64) -> CsrGraph {
+        let mut interner = LabelInterner::new();
+        let labels: Vec<Label> = (0..n)
+            .map(|i| {
+                let name = ["A", "B", "C"][i % 3];
+                interner.intern(name)
+            })
+            .collect();
+        let mut s = seed;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = NodeId((lcg(&mut s) % n as u64) as u32);
+            let v = NodeId((lcg(&mut s) % n as u64) as u32);
+            edges.push((u, v));
+        }
+        CsrGraph::from_edges(labels, interner, edges)
+    }
+
+    #[test]
+    fn elias_fano_roundtrip() {
+        let mut s = 0x5eedu64;
+        let mut values = Vec::new();
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            acc += lcg(&mut s) % 97;
+            values.push(acc);
+        }
+        let ef = EliasFano::new(&values);
+        assert_eq!(ef.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v, "index {i}");
+        }
+    }
+
+    #[test]
+    fn elias_fano_dense_and_degenerate() {
+        for values in [
+            vec![],
+            vec![0],
+            vec![0, 0, 0, 0],
+            (0..1000u64).collect::<Vec<_>>(),
+            vec![7; 500],
+            vec![0, u32::MAX as u64],
+        ] {
+            let ef = EliasFano::new(&values);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(ef.get(i), v, "{values:?} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn elias_fano_parts_roundtrip() {
+        let values: Vec<u64> = (0..5000u64).map(|i| i * 7 + (i % 7)).collect();
+        let ef = EliasFano::new(&values);
+        let rebuilt = EliasFano::from_parts(
+            ef.len(),
+            ef.low_bit_width(),
+            ef.low_words().to_vec(),
+            ef.high_words().to_vec(),
+        )
+        .expect("valid parts");
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(rebuilt.get(i), v);
+        }
+        // A corrupted high vector fails closed.
+        let mut bad = ef.high_words().to_vec();
+        bad[0] ^= 1 << 13;
+        assert!(
+            EliasFano::from_parts(ef.len(), ef.low_bit_width(), ef.low_words().to_vec(), bad)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn compressed_matches_plain_on_random_graphs() {
+        for (n, m, seed) in [(50usize, 200usize, 1u64), (500, 3000, 2), (2000, 9000, 3)] {
+            let csr = random_csr(n, m, seed);
+            let packed = CompressedCsr::from_csr(&csr);
+            assert_eq!(packed.node_count(), csr.node_count());
+            assert_eq!(packed.edge_count(), csr.edge_count());
+            for v in 0..n {
+                let v = NodeId(v as u32);
+                let plain = csr.out_neighbors(v);
+                let decoded: Vec<NodeId> = packed.neighbors(v).collect();
+                assert_eq!(decoded, plain, "row {v} (n={n} m={m})");
+                assert_eq!(packed.degree(v), plain.len());
+                assert_eq!(packed.label_of(v), csr.labels()[v.index()]);
+            }
+            let mut s = seed ^ 0xabcd;
+            for _ in 0..2000 {
+                let u = NodeId((lcg(&mut s) % n as u64) as u32);
+                let w = NodeId((lcg(&mut s) % n as u64) as u32);
+                assert_eq!(packed.has_edge(u, w), csr.has_edge(u, w), "({u}, {w})");
+            }
+        }
+    }
+
+    #[test]
+    fn hub_rows_take_the_exception_path() {
+        // One node pointing at 4·HUB_DEGREE targets plus a sparse tail.
+        let n = HUB_DEGREE * 8;
+        let mut interner = LabelInterner::new();
+        let l = interner.intern("X");
+        let mut edges: Vec<(NodeId, NodeId)> = (1..=HUB_DEGREE * 4)
+            .map(|t| (NodeId(0), NodeId(t as u32)))
+            .collect();
+        edges.push((NodeId(5), NodeId(9)));
+        edges.push((NodeId(5), NodeId(2)));
+        let csr = CsrGraph::from_edges(vec![l; n], interner, edges);
+        let packed = CompressedCsr::from_csr(&csr);
+        assert!(matches!(packed.neighbors(NodeId(0)), Neighbors::Hub(_)));
+        assert!(matches!(
+            packed.neighbors(NodeId(5)),
+            Neighbors::Coded { .. }
+        ));
+        let hub: Vec<NodeId> = packed.neighbors(NodeId(0)).collect();
+        assert_eq!(hub, csr.out_neighbors(NodeId(0)));
+        assert_eq!(packed.degree(NodeId(0)), HUB_DEGREE * 4);
+        assert!(packed.has_edge(NodeId(0), NodeId(7)));
+        assert!(!packed.has_edge(NodeId(0), NodeId(0)));
+        assert!(packed.has_edge(NodeId(5), NodeId(2)));
+        assert!(!packed.has_edge(NodeId(5), NodeId(3)));
+    }
+
+    #[test]
+    fn to_csr_roundtrips_exactly() {
+        let csr = random_csr(800, 4000, 9);
+        let packed = CompressedCsr::from_csr(&csr);
+        let back = packed.to_csr();
+        assert_eq!(back.node_count(), csr.node_count());
+        assert_eq!(back.edge_count(), csr.edge_count());
+        assert_eq!(back.labels(), csr.labels());
+        for v in 0..csr.node_count() {
+            let v = NodeId(v as u32);
+            assert_eq!(back.out_neighbors(v), csr.out_neighbors(v));
+            assert_eq!(back.in_neighbors(v), csr.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn uniform_labels_are_stored_once() {
+        let mut interner = LabelInterner::new();
+        let l = interner.intern("σ");
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..999u32).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        let csr = CsrGraph::from_edges(vec![l; 1000], interner, edges);
+        let packed = CompressedCsr::from_csr(&csr);
+        assert!(packed.parts().uniform_label.is_some());
+        // A chain has gap-1 edges everywhere: the coded form must be far
+        // below the plain form's 12n + 8m bytes.
+        assert!(
+            packed.heap_bytes() * 2 < csr.heap_bytes(),
+            "succinct {} vs plain {}",
+            packed.heap_bytes(),
+            csr.heap_bytes()
+        );
+        assert_eq!(packed.label_of(NodeId(123)), l);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_structures() {
+        let csr = random_csr(100, 400, 4);
+        let packed = CompressedCsr::from_csr(&csr);
+        let p = packed.parts();
+        // Baseline: faithful parts reconstruct.
+        let ok = CompressedCsr::from_parts(
+            p.n,
+            p.m,
+            p.k,
+            p.data_bits,
+            p.data.to_vec(),
+            EliasFano::from_parts(
+                p.offsets.len(),
+                p.offsets.low_bit_width(),
+                p.offsets.low_words().to_vec(),
+                p.offsets.high_words().to_vec(),
+            )
+            .unwrap(),
+            p.hub_rows.to_vec(),
+            p.hub_offsets.to_vec(),
+            p.hub_targets.to_vec(),
+            (!p.per_node_labels.is_empty()).then(|| p.per_node_labels.to_vec()),
+            p.uniform_label.unwrap_or(Label(0)),
+            p.interner.clone(),
+        )
+        .expect("faithful parts");
+        assert_eq!(ok.edge_count(), packed.edge_count());
+        // Truncated stream fails closed.
+        assert!(CompressedCsr::from_parts(
+            p.n,
+            p.m,
+            p.k,
+            p.data_bits,
+            p.data[..p.data.len().saturating_sub(1)].to_vec(),
+            EliasFano::from_parts(
+                p.offsets.len(),
+                p.offsets.low_bit_width(),
+                p.offsets.low_words().to_vec(),
+                p.offsets.high_words().to_vec(),
+            )
+            .unwrap(),
+            p.hub_rows.to_vec(),
+            p.hub_offsets.to_vec(),
+            p.hub_targets.to_vec(),
+            (!p.per_node_labels.is_empty()).then(|| p.per_node_labels.to_vec()),
+            p.uniform_label.unwrap_or(Label(0)),
+            p.interner.clone(),
+        )
+        .is_err());
+        // Bad zeta parameter fails closed.
+        assert!(CompressedCsr::from_parts(
+            p.n,
+            p.m,
+            0,
+            p.data_bits,
+            p.data.to_vec(),
+            EliasFano::from_parts(
+                p.offsets.len(),
+                p.offsets.low_bit_width(),
+                p.offsets.low_words().to_vec(),
+                p.offsets.high_words().to_vec(),
+            )
+            .unwrap(),
+            p.hub_rows.to_vec(),
+            p.hub_offsets.to_vec(),
+            p.hub_targets.to_vec(),
+            None,
+            Label(0),
+            p.interner.clone(),
+        )
+        .is_err());
+    }
+}

@@ -32,10 +32,49 @@
 //!   corner case of query evaluation.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use qpgc_graph::reach_sets::{DagReach, DEFAULT_CHUNK};
 use qpgc_graph::scc::Condensation;
-use qpgc_graph::{CsrGraph, GraphView, LabeledGraph, NodeId};
+use qpgc_graph::{CsrGraph, FixedBitSet, GraphView, LabeledGraph, NodeId};
+
+/// One refinement step of the chunked signature comparison: splits the
+/// current SCC blocks (`group`) by the `(block, descendants, ancestors)`
+/// signature restricted to this chunk's columns. Purely sequential and
+/// deterministic — the parallelism lives in producing `desc`/`anc`, never
+/// here.
+fn refine_chunk(
+    cols: &Range<usize>,
+    desc: &[FixedBitSet],
+    anc: &[FixedBitSet],
+    cyclic_scc: &[bool],
+    group: &mut Vec<u32>,
+) {
+    let c = group.len();
+    let mut key_to_group: HashMap<(u32, Vec<u64>, Vec<u64>), u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut new_group = vec![0u32; c];
+    for scc in 0..c {
+        let mut d = desc[scc].clone();
+        let mut a = anc[scc].clone();
+        // A cyclic SCC reaches (and is reached by) its own members via
+        // non-empty paths: include the self column when it falls in this
+        // chunk. (Acyclic SCCs must *not* include it — that is exactly
+        // what distinguishes a cyclic singleton from an acyclic one.)
+        if cyclic_scc[scc] && scc >= cols.start && scc < cols.end {
+            d.insert(scc - cols.start);
+            a.insert(scc - cols.start);
+        }
+        let key = (group[scc], d.as_blocks().to_vec(), a.as_blocks().to_vec());
+        let id = *key_to_group.entry(key).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        new_group[scc] = id;
+    }
+    *group = new_group;
+}
 
 /// The partition of `V` induced by the reachability equivalence relation.
 #[derive(Clone, Debug)]
@@ -140,45 +179,64 @@ pub fn reachability_partition_with_chunk_threads<G: GraphView>(
         }
     }
 
-    for cols in dag.chunks(chunk) {
-        let (desc, anc) = if threads > 1 {
+    // The chunk sweeps are independent of each other and of the running
+    // refinement, so with `threads > 1` up to `threads` chunks sweep
+    // concurrently on scoped workers (each worker runs both directions of
+    // its chunk); a lone chunk in a window falls back to the PR 8
+    // forward/backward split so two workers still apply. The refinement
+    // below always consumes the sweeps in chunk order, and every sweep
+    // produces exactly the sequential bit sets, so the partition is
+    // bit-identical at every thread count.
+    let all_chunks = dag.chunks(chunk);
+    for window in all_chunks.chunks(threads.max(1)) {
+        let sweeps: Vec<(Vec<FixedBitSet>, Vec<FixedBitSet>)> = if window.len() > 1 {
+            let dag = &dag;
             std::thread::scope(|s| {
-                let d = s.spawn(|| dag.descendants_chunk(cols.clone()));
-                let a = s.spawn(|| dag.ancestors_chunk(cols.clone()));
-                (
-                    d.join().expect("descendants sweep panicked"),
-                    a.join().expect("ancestors sweep panicked"),
-                )
+                let handles: Vec<_> = window
+                    .iter()
+                    .map(|cols| {
+                        let cols = cols.clone();
+                        s.spawn(move || {
+                            (
+                                dag.descendants_chunk(cols.clone()),
+                                dag.ancestors_chunk(cols),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chunk sweep panicked"))
+                    .collect()
             })
+        } else if threads > 1 {
+            window
+                .iter()
+                .map(|cols| {
+                    std::thread::scope(|s| {
+                        let d = s.spawn(|| dag.descendants_chunk(cols.clone()));
+                        let a = s.spawn(|| dag.ancestors_chunk(cols.clone()));
+                        (
+                            d.join().expect("descendants sweep panicked"),
+                            a.join().expect("ancestors sweep panicked"),
+                        )
+                    })
+                })
+                .collect()
         } else {
-            (
-                dag.descendants_chunk(cols.clone()),
-                dag.ancestors_chunk(cols.clone()),
-            )
+            window
+                .iter()
+                .map(|cols| {
+                    (
+                        dag.descendants_chunk(cols.clone()),
+                        dag.ancestors_chunk(cols.clone()),
+                    )
+                })
+                .collect()
         };
-        let mut key_to_group: HashMap<(u32, Vec<u64>, Vec<u64>), u32> = HashMap::new();
-        let mut next = 0u32;
-        let mut new_group = vec![0u32; c];
-        for scc in 0..c {
-            let mut d = desc[scc].clone();
-            let mut a = anc[scc].clone();
-            // A cyclic SCC reaches (and is reached by) its own members via
-            // non-empty paths: include the self column when it falls in this
-            // chunk. (Acyclic SCCs must *not* include it — that is exactly
-            // what distinguishes a cyclic singleton from an acyclic one.)
-            if cyclic_scc[scc] && scc >= cols.start && scc < cols.end {
-                d.insert(scc - cols.start);
-                a.insert(scc - cols.start);
-            }
-            let key = (group[scc], d.as_blocks().to_vec(), a.as_blocks().to_vec());
-            let id = *key_to_group.entry(key).or_insert_with(|| {
-                let id = next;
-                next += 1;
-                id
-            });
-            new_group[scc] = id;
+        for (cols, (desc, anc)) in window.iter().zip(sweeps) {
+            refine_chunk(cols, &desc, &anc, &cyclic_scc, &mut group);
         }
-        group = new_group;
     }
 
     // Renumber groups densely in first-seen order and expand to node level.

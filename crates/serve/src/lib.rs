@@ -89,6 +89,7 @@ pub mod bulk;
 pub mod error;
 pub mod gate;
 pub mod parallel;
+pub mod persist;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
@@ -99,8 +100,9 @@ pub use boundary::BoundarySummary;
 pub use bulk::bulk_reachable;
 pub use error::{LogError, StoreError};
 pub use gate::{GateController, GateDecision, GateMode, GateSide};
+pub use persist::{load_snapshot, save_snapshot};
 pub use sharded::{ShardedSnapshot, ShardedStore};
-pub use snapshot::Snapshot;
+pub use snapshot::{QuotientCsr, Snapshot, SnapshotFormat};
 pub use store::{
     ApplyPath, ApplyReport, CompressedStore, ShardApply, StoreConfig, StoreConfigBuilder,
 };

@@ -45,13 +45,141 @@ use qpgc_graph::traversal::bfs_reachable;
 use std::sync::Arc;
 
 use qpgc_graph::update::{EdgeDelta, PartitionDelta};
-use qpgc_graph::{CsrGraph, Label, NodeId};
+use qpgc_graph::{CompressedCsr, CsrGraph, Label, NodeId};
 use qpgc_pattern::pattern::{MatchRelation, Pattern};
 use qpgc_pattern::view::PatternView;
 use qpgc_reach::incremental::StableQuotient;
 use qpgc_reach::two_hop::TwoHopIndex;
 
 use crate::store::StoreConfig;
+
+/// Which in-memory representation a store publishes its quotient CSR in.
+///
+/// The succinct backend ([`CompressedCsr`]) gap/ζ-codes each adjacency row
+/// and typically halves (or better) the quotient's heap on the power-law
+/// Table-1 shapes, at the price of lazy per-row decode on reads — and it is
+/// immutable, so a patched publication must first inflate it back to plain
+/// form. `Auto` resolves that tension by packing only on the publication
+/// paths that rebuild the CSR from scratch anyway (the initial build and
+/// gate-routed rebuilds); hot, delta-patched snapshots stay plain so
+/// [`CsrGraph::patch`] keeps operating on its native form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Always serve plain `u32` CSR arrays (the historical behavior).
+    #[default]
+    Plain,
+    /// Always serve the succinct form — even delta-patched publications
+    /// re-pack after patching. Maximum compression, slowest writes.
+    Succinct,
+    /// Pack on from-scratch builds (where the CSR is materialized fresh
+    /// anyway); keep delta-patched publications plain.
+    Auto,
+}
+
+/// The snapshot's quotient CSR, in whichever backend the publication path
+/// chose — plain `u32` arrays or the gap/ζ-coded succinct form. Readers
+/// that only need reachability go through [`QuotientCsr::bfs_reachable`]
+/// and never care which; writers that must patch call
+/// [`QuotientCsr::to_plain_arc`] to get (or lazily re-inflate) the plain
+/// form.
+#[derive(Clone, Debug)]
+pub enum QuotientCsr {
+    /// Plain CSR arrays; supports in-place row patching and slice reads.
+    Plain(Arc<CsrGraph>),
+    /// Gap/ζ-coded rows with Elias–Fano offsets; immutable, lazy decode.
+    Succinct(Arc<CompressedCsr>),
+}
+
+impl QuotientCsr {
+    /// Rows in the quotient (the stable-id space, including retired ids).
+    pub fn node_count(&self) -> usize {
+        match self {
+            QuotientCsr::Plain(g) => g.node_count(),
+            QuotientCsr::Succinct(g) => g.node_count(),
+        }
+    }
+
+    /// Edges in the (transitively reduced) quotient.
+    pub fn edge_count(&self) -> usize {
+        match self {
+            QuotientCsr::Plain(g) => g.edge_count(),
+            QuotientCsr::Succinct(g) => g.edge_count(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes of whichever backend is live.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            QuotientCsr::Plain(g) => g.heap_bytes(),
+            QuotientCsr::Succinct(g) => g.heap_bytes(),
+        }
+    }
+
+    /// `true` when the succinct backend is serving.
+    pub fn is_succinct(&self) -> bool {
+        matches!(self, QuotientCsr::Succinct(_))
+    }
+
+    /// The plain CSR, when that backend is live.
+    pub fn as_plain(&self) -> Option<&CsrGraph> {
+        match self {
+            QuotientCsr::Plain(g) => Some(g),
+            QuotientCsr::Succinct(_) => None,
+        }
+    }
+
+    /// The succinct CSR, when that backend is live.
+    pub fn as_succinct(&self) -> Option<&CompressedCsr> {
+        match self {
+            QuotientCsr::Plain(_) => None,
+            QuotientCsr::Succinct(g) => Some(g),
+        }
+    }
+
+    /// The plain form: an `Arc` bump when already plain, a full decode
+    /// when succinct (the price a patched publication pays for following a
+    /// packed one — see [`SnapshotFormat::Auto`]).
+    pub fn to_plain_arc(&self) -> Arc<CsrGraph> {
+        match self {
+            QuotientCsr::Plain(g) => Arc::clone(g),
+            QuotientCsr::Succinct(g) => Arc::new(g.to_csr()),
+        }
+    }
+
+    /// BFS reachability over whichever backend is live — the succinct
+    /// side decodes rows lazily as the frontier visits them, so a query
+    /// never inflates more than it traverses.
+    pub fn bfs_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            QuotientCsr::Plain(g) => bfs_reachable(&**g, from, to),
+            QuotientCsr::Succinct(g) => {
+                if from == to {
+                    return true;
+                }
+                let n = g.node_count();
+                if from.index() >= n || to.index() >= n {
+                    return false;
+                }
+                let mut seen = vec![false; n];
+                let mut queue = std::collections::VecDeque::new();
+                seen[from.index()] = true;
+                queue.push_back(from);
+                while let Some(u) = queue.pop_front() {
+                    for v in g.neighbors(u) {
+                        if v == to {
+                            return true;
+                        }
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+}
 
 /// One immutable compression state, read-optimized for serving.
 ///
@@ -70,7 +198,7 @@ use crate::store::StoreConfig;
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     version: u64,
-    gr: Arc<CsrGraph>,
+    gr: QuotientCsr,
     class_of: Arc<Vec<u32>>,
     cyclic: Arc<Vec<bool>>,
     live_classes: usize,
@@ -100,9 +228,17 @@ impl Snapshot {
             .two_hop
             .as_ref()
             .map(|cfg| Arc::new(TwoHopIndex::build_with(&gr, cfg)));
+        // A from-scratch build is exactly where `Auto` packs: the CSR was
+        // materialized fresh, so nothing downstream needs its plain form.
+        let gr = match config.snapshot_format {
+            SnapshotFormat::Plain => QuotientCsr::Plain(Arc::new(gr)),
+            SnapshotFormat::Succinct | SnapshotFormat::Auto => {
+                QuotientCsr::Succinct(Arc::new(CompressedCsr::from_csr(&gr)))
+            }
+        };
         Snapshot {
             version,
-            gr: Arc::new(gr),
+            gr,
             class_of: Arc::new(sq.class_of.clone()),
             cyclic: Arc::new(sq.cyclic.clone()),
             live_classes: sq.class_count(),
@@ -116,8 +252,11 @@ impl Snapshot {
     /// (see the module docs). `sq` is the post-batch stable-id state; the
     /// patched structures are debug-asserted against it.
     ///
-    /// Returns the snapshot and whether the 2-hop index was patched
-    /// (`false` when it was rebuilt in full, or absent).
+    /// Returns the snapshot, whether the 2-hop index was patched (`false`
+    /// when it was rebuilt in full, or absent), and the dirty-landmark
+    /// count the 2-hop sub-gate measured (`0` when no index is configured)
+    /// — the store feeds the latter to the gate controller's saturating
+    /// cost model.
     pub(crate) fn apply_delta(
         prev: &Snapshot,
         version: u64,
@@ -125,9 +264,13 @@ impl Snapshot {
         delta: &PartitionDelta,
         pattern: Option<Arc<PatternView>>,
         config: &StoreConfig,
-    ) -> (Snapshot, bool) {
+    ) -> (Snapshot, bool, usize) {
+        // Delta-patching operates on plain CSR rows; a succinct
+        // predecessor (an `Auto` store whose last publication rebuilt) is
+        // inflated once up front.
+        let prev_gr = prev.gr.to_plain_arc();
         let id_space = delta.id_space;
-        let old_space = prev.gr.node_count();
+        let old_space = prev_gr.node_count();
         debug_assert!(id_space >= old_space, "stable id space never shrinks");
         let added_ids = delta.added_ids();
 
@@ -204,7 +347,7 @@ impl Snapshot {
                 })
                 .collect();
             let old_kept: &[NodeId] = if (a as usize) < old_space {
-                prev.gr.out_neighbors(NodeId(a))
+                prev_gr.out_neighbors(NodeId(a))
             } else {
                 &[]
             };
@@ -235,20 +378,20 @@ impl Snapshot {
         // `EdgeDelta` re-asserts that shape (sort + dedup + cancellation)
         // so the patch input carries the row-diff contract explicitly.
         let diff = EdgeDelta::new(added_edges, removed_edges);
-        let sigma = prev
-            .gr
+        let sigma = prev_gr
             .interner()
             .get("σ")
             .expect("quotient snapshots intern σ at build time");
         let appended: Vec<Label> = vec![sigma; id_space - old_space];
-        let gr = prev.gr.patch_with(diff.added(), diff.removed(), &appended);
+        let gr = prev_gr.patch_with(diff.added(), diff.removed(), &appended);
 
         // 2-hop: re-label only landmarks whose cones intersect the changed
         // classes; fall back to a full (compacting) rebuild past the gate
         // mode's index-patch bound or once tombstones outnumber live ranks.
+        let mut dirty_landmarks = 0usize;
         let (two_hop, two_hop_patched) = match (&config.two_hop, prev.two_hop.as_deref()) {
             (Some(cfg), Some(idx)) => {
-                let old_dag = DagReach::from_dag_graph(&*prev.gr)
+                let old_dag = DagReach::from_dag_graph(&*prev_gr)
                     .expect("a published quotient snapshot is a DAG");
                 let d_old = old_dag.descendants_for_columns(&delta.removed);
                 let a_old = old_dag.ancestors_for_columns(&delta.removed);
@@ -272,8 +415,9 @@ impl Snapshot {
                         old_hit || d_new[xi].count_ones() > 0 || a_new[xi].count_ones() > 0
                     })
                     .collect();
+                dirty_landmarks = dirty.len() + added_ids.len();
                 let live = idx.live_rank_count().max(1);
-                let damage = (dirty.len() + added_ids.len()) as f64 / live as f64;
+                let damage = dirty_landmarks as f64 / live as f64;
                 let tombstones = idx.retired_rank_count() + delta.removed.len();
                 if damage > config.gate.index_patch_bound() || tombstones > live {
                     (Some(Arc::new(TwoHopIndex::build_with(&gr, cfg))), false)
@@ -297,10 +441,17 @@ impl Snapshot {
         let live_classes = prev.live_classes - delta.removed.len() + delta.added.len();
         debug_assert_eq!(live_classes, sq.class_count(), "live-class count drifted");
 
+        // Only a *forced* `Succinct` store re-packs after a patch; `Auto`
+        // keeps patched snapshots plain so the next patch is cheap.
+        let gr = if config.snapshot_format == SnapshotFormat::Succinct {
+            QuotientCsr::Succinct(Arc::new(CompressedCsr::from_csr(&gr)))
+        } else {
+            QuotientCsr::Plain(Arc::new(gr))
+        };
         (
             Snapshot {
                 version,
-                gr: Arc::new(gr),
+                gr,
                 class_of: Arc::new(class_of),
                 cyclic: Arc::new(cyclic),
                 live_classes,
@@ -308,6 +459,7 @@ impl Snapshot {
                 pattern,
             },
             two_hop_patched,
+            dirty_landmarks,
         )
     }
 
@@ -335,11 +487,55 @@ impl Snapshot {
         self.version
     }
 
-    /// The compressed reachability graph `Gr` in CSR form. Rows are stable
-    /// class ids: `node_count` is the id-space size (retired ids persist as
-    /// isolated rows), [`Snapshot::class_count`] the number of live classes.
+    /// The compressed reachability graph `Gr` in **plain** CSR form. Rows
+    /// are stable class ids: `node_count` is the id-space size (retired ids
+    /// persist as isolated rows), [`Snapshot::class_count`] the number of
+    /// live classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot serves the succinct backend — use
+    /// [`Snapshot::quotient`] for backend-agnostic access.
     pub fn compressed_graph(&self) -> &CsrGraph {
+        self.gr
+            .as_plain()
+            .expect("snapshot serves the succinct backend; use Snapshot::quotient")
+    }
+
+    /// The quotient CSR in whichever backend this snapshot serves.
+    pub fn quotient(&self) -> &QuotientCsr {
         &self.gr
+    }
+
+    /// Rebuilds a snapshot from parts loaded off disk (see
+    /// `crate::persist`): no 2-hop index (queries fall back to BFS over
+    /// the quotient, staying BFS-exact) and no pattern view.
+    pub(crate) fn from_loaded_parts(
+        version: u64,
+        gr: QuotientCsr,
+        class_of: Vec<u32>,
+        cyclic: Vec<bool>,
+        live_classes: usize,
+    ) -> Snapshot {
+        Snapshot {
+            version,
+            gr,
+            class_of: Arc::new(class_of),
+            cyclic: Arc::new(cyclic),
+            live_classes,
+            two_hop: None,
+            pattern: None,
+        }
+    }
+
+    /// The node → stable-class index (for persistence).
+    pub(crate) fn class_of_slice(&self) -> &[u32] {
+        &self.class_of
+    }
+
+    /// The per-class cyclic flags (for persistence).
+    pub(crate) fn cyclic_slice(&self) -> &[bool] {
+        &self.cyclic
     }
 
     /// The 2-hop index over `Gr`, when the store was configured to build
@@ -393,7 +589,7 @@ impl Snapshot {
         }
         match &self.two_hop {
             Some(idx) => idx.query(NodeId(cv), NodeId(cw)),
-            None => bfs_reachable(&*self.gr, NodeId(cv), NodeId(cw)),
+            None => self.gr.bfs_reachable(NodeId(cv), NodeId(cw)),
         }
     }
 
@@ -572,7 +768,7 @@ mod tests {
                 let (_, delta) = m.apply_with_delta(&batch);
                 batch.apply_to(&mut g);
                 let sq = m.stable_quotient();
-                let (patched, _) =
+                let (patched, _, _) =
                     Snapshot::apply_delta(&snap, step + 1, &sq, &delta, None, &config);
                 let rebuilt = Snapshot::build(step + 1, &sq, None, &config);
                 assert_eq!(

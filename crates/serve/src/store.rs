@@ -29,7 +29,7 @@ use qpgc_reach::two_hop::TwoHopConfig;
 
 use crate::error::{panic_cause, StoreError};
 use crate::gate::{GateController, GateDecision, GateMode, GateSide};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{Snapshot, SnapshotFormat};
 use crate::wal::UpdateLog;
 
 /// `Mutex::lock` with poison recovery: a poisoned lock means some earlier
@@ -105,6 +105,11 @@ pub struct StoreConfig {
     /// concurrently). `1` — the default — is the degenerate single-slice
     /// router; [`CompressedStore`] ignores the field entirely.
     pub shards: usize,
+    /// Which backend publications serve their quotient CSR in — plain
+    /// `u32` arrays, the gap/ζ-coded succinct form, or `Auto` (pack only
+    /// on from-scratch builds, keep patched snapshots plain). See
+    /// [`SnapshotFormat`]. Default: `Plain`.
+    pub snapshot_format: SnapshotFormat,
 }
 
 impl Default for StoreConfig {
@@ -115,6 +120,7 @@ impl Default for StoreConfig {
             serve_patterns: false,
             gate: GateMode::default(),
             shards: 1,
+            snapshot_format: SnapshotFormat::default(),
         }
     }
 }
@@ -178,6 +184,13 @@ impl StoreConfigBuilder {
     /// `1`).
     pub fn shards(mut self, shards: usize) -> Self {
         self.config.shards = shards.max(1);
+        self
+    }
+
+    /// Which backend publications serve their quotient CSR in (see
+    /// [`SnapshotFormat`]).
+    pub fn snapshot_format(mut self, format: SnapshotFormat) -> Self {
+        self.config.snapshot_format = format;
         self
     }
 
@@ -476,6 +489,64 @@ impl CompressedStore {
         Ok(store)
     }
 
+    /// Persists the currently served snapshot to `path` in the succinct
+    /// on-disk format (see [`crate::persist`]); a plain-backend snapshot
+    /// is packed on the way out. Pair the file with the store's
+    /// [`UpdateLog`] and [`CompressedStore::boot_from_snapshot`] recovers
+    /// by log-**tail** replay instead of full-history replay.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
+        crate::persist::save_snapshot(&self.load(), path).map_err(StoreError::Log)
+    }
+
+    /// Recovers a store from a persisted snapshot plus the update log:
+    /// the file (validated fail-closed — see [`crate::persist`]) is
+    /// served immediately at its recorded version `k`, the log's base
+    /// graph advances to version `k` by replaying only the batch *edges*
+    /// (no per-batch maintenance or publication), one compression run
+    /// rebuilds the writer's maintained state, and the log batches past
+    /// `k` replay through the normal apply pipeline. The loaded
+    /// snapshot's stable ids predate the writer's fresh ones, so the
+    /// first post-boot publication builds from scratch — until then the
+    /// loaded snapshot answers by BFS over the succinct quotient, which
+    /// is BFS-exact.
+    ///
+    /// Fails when the snapshot file or the log is unreadable or corrupt,
+    /// or when the snapshot's version lies beyond the log's committed
+    /// batch count (the file cannot belong to this log).
+    pub fn boot_from_snapshot<P: AsRef<Path>, Q: AsRef<Path>>(
+        snapshot_path: P,
+        log_path: Q,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let loaded = crate::persist::load_snapshot(snapshot_path).map_err(StoreError::Log)?;
+        let k = loaded.version();
+        let contents = UpdateLog::read(log_path)?;
+        if k > contents.batches.len() as u64 {
+            return Err(StoreError::Log(crate::error::LogError::Corrupt {
+                offset: 0,
+                detail: format!(
+                    "snapshot version {k} beyond the log's {} committed batches",
+                    contents.batches.len()
+                ),
+            }));
+        }
+        let mut g = contents.graph;
+        for batch in &contents.batches[..k as usize] {
+            batch.apply_to(&mut g);
+        }
+        let store = Self::new(g, config);
+        {
+            let mut w = lock_recover(&store.writer);
+            w.version = k;
+            w.rebuild_next = true;
+            *write_recover(&store.current) = Arc::new(loaded);
+        }
+        for batch in &contents.batches[k as usize..] {
+            store.try_apply(batch)?;
+        }
+        Ok(store)
+    }
+
     /// The store's configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.config
@@ -649,11 +720,13 @@ impl CompressedStore {
                     GateSide::Bisim,
                     pattern_patched,
                     churned,
+                    0,
                     pattern_ms,
                 );
             }
             // Reachability side under its own clock, for the same reason.
             let reach_start = std::time::Instant::now();
+            let mut reach_dirty = 0usize;
             let (snapshot, path, reach_gate) = if force_rebuild {
                 // The previous snapshot's stable ids predate a rollback
                 // recompression — not a valid patch baseline, whatever the
@@ -701,6 +774,7 @@ impl CompressedStore {
                     self.config.gate,
                     churned,
                     live,
+                    prev.two_hop().map(|idx| idx.live_rank_count()),
                 );
                 if !decision.patch {
                     (
@@ -713,8 +787,9 @@ impl CompressedStore {
                         Some(decision),
                     )
                 } else {
-                    let (snapshot, two_hop_patched) =
+                    let (snapshot, two_hop_patched, dirty) =
                         Snapshot::apply_delta(&prev, next, &sq, &delta, pattern_view, &self.config);
+                    reach_dirty = dirty;
                     (
                         snapshot,
                         ApplyPath::Patched {
@@ -736,6 +811,7 @@ impl CompressedStore {
                     GateSide::Reach,
                     patched,
                     delta.churned(),
+                    reach_dirty,
                     reach_ms,
                 );
             }
@@ -848,6 +924,7 @@ impl CompressedStore {
                     self.config.gate,
                     churned,
                     live,
+                    None,
                 );
                 if decision.patch {
                     let spq = p.stable_quotient_without_members();

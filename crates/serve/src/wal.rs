@@ -258,8 +258,10 @@ fn decode_batch(payload: &[u8]) -> Option<UpdateBatch> {
 }
 
 /// CRC-32 (IEEE 802.3, reflected) — hand-rolled because the build is
-/// offline; table built once per process.
-struct Crc32 {
+/// offline; table built once per process. Shared with the snapshot
+/// persistence layer (`crate::persist`), which frames its sections the
+/// same way the log frames its records.
+pub(crate) struct Crc32 {
     state: u32,
 }
 
@@ -283,18 +285,18 @@ impl Crc32 {
         })
     }
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Crc32 { state: !0 }
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         let table = Self::table();
         for &b in bytes {
             self.state = table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
         }
     }
 
-    fn finish(&self) -> u32 {
+    pub(crate) fn finish(&self) -> u32 {
         !self.state
     }
 }
