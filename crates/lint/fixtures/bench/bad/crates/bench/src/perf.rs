@@ -1,0 +1,9 @@
+pub fn to_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"serve\": {\n");
+    out.push_str("  },\n");
+    out.push_str("  \"unsmoked\": [\n");
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,13 @@
+pub fn to_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"serve\": {\n");
+    out.push_str("  },\n");
+    out.push_str("  \"phases_ms\": {\n");
+    out.push_str("  },\n");
+    // A `{}` right after the colon is a format! placeholder for a scalar,
+    // not a JSON section — must not be treated as emitted schema.
+    out.push_str("  \"scale\": {},\n");
+    out.push_str("}\n");
+    out
+}

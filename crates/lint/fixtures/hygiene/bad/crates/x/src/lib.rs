@@ -1,0 +1,8 @@
+pub fn greet() {
+    println!("hi");
+    dbg!(42);
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,3 @@
+pub fn publish() {
+    qpgc_fault::fail_point!("store/ghost");
+}

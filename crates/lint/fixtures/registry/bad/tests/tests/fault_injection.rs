@@ -1,0 +1,8 @@
+const SINGLE_SITES: &[&str] = &["store/armed_but_dead"];
+
+#[test]
+fn arm_everything() {
+    for site in SINGLE_SITES {
+        let _ = site;
+    }
+}

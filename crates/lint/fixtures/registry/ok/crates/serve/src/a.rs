@@ -1,0 +1,7 @@
+pub fn publish() {
+    qpgc_fault::fail_point!("store/armed");
+}
+
+pub fn stage() {
+    qpgc_fault::fail_point!("store/staged");
+}

@@ -1,0 +1,11 @@
+const SINGLE_SITES: &[&str] = &["store/armed"];
+
+#[test]
+fn arm_everything() {
+    for site in SINGLE_SITES {
+        let _ = site;
+    }
+    fail_at("store/staged", 1);
+}
+
+fn fail_at(_site: &str, _nth: u64) {}

@@ -1,0 +1,10 @@
+use std::time::{Duration, Instant};
+
+#[test]
+fn fast_enough() {
+    let t0 = Instant::now();
+    work();
+    assert!(t0.elapsed() < Duration::from_millis(100));
+}
+
+fn work() {}

@@ -1,0 +1,13 @@
+use std::time::{Duration, Instant};
+
+#[test]
+fn fast_enough_when_gated() {
+    if std::env::var("QPGC_TIMING_TESTS").is_err() {
+        return;
+    }
+    let t0 = Instant::now();
+    work();
+    assert!(t0.elapsed() < Duration::from_millis(100));
+}
+
+fn work() {}

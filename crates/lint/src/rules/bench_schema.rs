@@ -1,0 +1,149 @@
+//! **bench-schema** — CI's perf-harness smoke step greps the JSON snapshot
+//! `bench_json` writes for known keys. Both sides can drift silently: a
+//! renamed emitter key turns the grep into a guaranteed CI failure only
+//! *after* merge, and a new top-level section nobody greps ships without
+//! any smoke coverage. This rule checks both directions statically:
+//!
+//! * every `grep -q '"key"'` in `.github/workflows/ci.yml` must appear as
+//!   (part of) a string literal in `crates/bench` sources;
+//! * every top-level section the hand-rolled JSON writer emits (a string
+//!   literal shaped `  "name": {` or `  "name": [`) must be grepped.
+
+use std::collections::BTreeMap;
+
+use crate::engine::SourceFile;
+use crate::lexer::Kind;
+use crate::Finding;
+
+/// Rule id.
+pub const RULE: &str = "bench-schema";
+
+/// Cross-checks CI smoke greps against the bench crate's JSON writer.
+pub fn check(ci: Option<(&str, &str)>, files: &[SourceFile]) -> Vec<Finding> {
+    let bench_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.rel.contains("crates/bench/"))
+        .collect();
+    if bench_files.is_empty() {
+        return Vec::new();
+    }
+    let sections = emitted_sections(&bench_files);
+    let Some((ci_rel, ci_text)) = ci else {
+        // Bench sources but no workflow: flag once so a renamed/lost
+        // workflow cannot silently disable the smoke checks.
+        if let Some((section, (file, line))) = sections.iter().next() {
+            return vec![Finding::new(
+                RULE,
+                file,
+                *line,
+                &format!(
+                    "bench_json emits section \"{section}\" but no \
+                     .github/workflows/ci.yml was found to smoke-grep it"
+                ),
+            )];
+        }
+        return Vec::new();
+    };
+
+    let keys = ci_grep_keys(ci_text);
+    let mut out = Vec::new();
+
+    // Direction A: every grepped key is emitted somewhere in crates/bench.
+    for (key, line) in &keys {
+        let quoted = format!("\"{key}\"");
+        let emitted = bench_files.iter().any(|f| {
+            f.lexed
+                .tokens
+                .iter()
+                .any(|t| t.kind == Kind::Str && (t.text == *key || t.text.contains(&quoted)))
+        });
+        if !emitted {
+            out.push(Finding::new(
+                RULE,
+                ci_rel,
+                *line,
+                &format!(
+                    "CI smoke-greps \"{key}\" but no crates/bench string literal emits \
+                     it: the grep can only fail"
+                ),
+            ));
+        }
+    }
+
+    // Direction B: every emitted top-level section is smoke-grepped.
+    for (section, (file, line)) in &sections {
+        if !keys.iter().any(|(k, _)| k == section) {
+            out.push(Finding::new(
+                RULE,
+                file,
+                *line,
+                &format!(
+                    "bench_json emits top-level section \"{section}\" that CI never \
+                     smoke-greps: add `grep -q '\"{section}\"'` to the perf smoke step"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Keys grepped by CI: for each line containing `grep -q '...'`, the first
+/// `"quoted"` word inside the single-quoted pattern. Returns
+/// `(key, 1-based line)` pairs in file order (first occurrence wins).
+pub fn ci_grep_keys(ci_text: &str) -> Vec<(String, usize)> {
+    let mut keys: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in ci_text.lines().enumerate() {
+        let Some(at) = line.find("grep -q '") else {
+            continue;
+        };
+        let rest = &line[at + "grep -q '".len()..];
+        let Some(end) = rest.find('\'') else {
+            continue;
+        };
+        let pattern = &rest[..end];
+        let mut quotes = pattern.match_indices('"');
+        if let (Some((a, _)), Some((b, _))) = (quotes.next(), quotes.next()) {
+            let key = pattern[a + 1..b].to_string();
+            if !key.is_empty() && !keys.iter().any(|(k, _)| *k == key) {
+                keys.push((key, idx + 1));
+            }
+        }
+    }
+    keys
+}
+
+/// Top-level sections the JSON writer emits: string literals whose decoded
+/// value starts with exactly two spaces, a quoted name, and a `{`/`[`
+/// opener (`  "serve": {\n`). A `{}` right after the colon is a `format!`
+/// placeholder (scalar), not a section. Literals inside `#[cfg(test)]`
+/// modules are skipped — fabricated cross-schema fixtures (the parser
+/// tolerance tests) are not emitted schema.
+fn emitted_sections<'a>(bench_files: &[&'a SourceFile]) -> BTreeMap<String, (&'a str, usize)> {
+    let mut out: BTreeMap<String, (&str, usize)> = BTreeMap::new();
+    for f in bench_files {
+        for (i, t) in f.lexed.tokens.iter().enumerate() {
+            if t.kind != Kind::Str || f.in_test_region(i) {
+                continue;
+            }
+            if let Some(section) = parse_section(&t.text) {
+                out.entry(section).or_insert((f.rel.as_str(), t.line));
+            }
+        }
+    }
+    out
+}
+
+/// Parses `  "name": {` / `  "name": [` (object/array section opener).
+fn parse_section(value: &str) -> Option<String> {
+    let rest = value.strip_prefix("  \"")?;
+    if rest.starts_with(' ') {
+        return None; // deeper indentation
+    }
+    let (name, after) = rest.split_once('"')?;
+    let after = after.strip_prefix(':')?.trim_start_matches(' ');
+    let mut chars = after.chars();
+    match (chars.next(), chars.next()) {
+        (Some('['), Some('\n') | None) | (Some('{'), Some('\n') | None) => Some(name.to_string()),
+        _ => None,
+    }
+}

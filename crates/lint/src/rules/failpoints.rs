@@ -1,0 +1,142 @@
+//! **failpoint-registry** — the fault-injection suite is only meaningful
+//! if it arms *every* failpoint site compiled into the pipeline. This rule
+//! extracts each `fail_point!("site")` literal across the workspace and
+//! cross-checks it bidirectionally against the sites armed in
+//! `tests/tests/fault_injection.rs` (the `*_SITES` arrays plus direct
+//! `fail_at("site", n)` calls):
+//!
+//! * a site without test coverage means a recovery path ships untested;
+//! * an armed site that no longer exists means the suite silently stopped
+//!   exercising whatever it used to exercise.
+
+use std::collections::BTreeMap;
+
+use crate::engine::{is_ident, is_punct, SourceFile};
+use crate::lexer::Kind;
+use crate::Finding;
+
+/// Rule id.
+pub const RULE: &str = "failpoint-registry";
+
+/// Path suffix of the arming registry.
+const REGISTRY_SUFFIX: &str = "tests/tests/fault_injection.rs";
+
+/// Cross-checks `fail_point!` sites against the armed registry.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    // site -> first (file, line) it is declared at.
+    let mut sites: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for f in files {
+        for (site, line) in fail_point_sites(f) {
+            sites.entry(site).or_insert((f.rel.clone(), line));
+        }
+    }
+    let registry = files.iter().find(|f| f.rel.ends_with(REGISTRY_SUFFIX));
+
+    let mut out = Vec::new();
+    let Some(reg) = registry else {
+        // No registry file: only an error if there are sites to cover
+        // (fixture roots without a fault suite stay silent).
+        if let Some((site, (file, line))) = sites.iter().next() {
+            out.push(Finding::new(
+                RULE,
+                file,
+                *line,
+                &format!(
+                    "fail_point!(\"{site}\") exists but no `{REGISTRY_SUFFIX}` was found \
+                     to arm it"
+                ),
+            ));
+        }
+        return out;
+    };
+
+    let armed = armed_sites(reg);
+    for (site, (file, line)) in &sites {
+        if !armed.contains_key(site) {
+            out.push(Finding::new(
+                RULE,
+                file,
+                *line,
+                &format!(
+                    "failpoint site `{site}` is not armed by {REGISTRY_SUFFIX}: add it \
+                     to the site list so its recovery path is exercised"
+                ),
+            ));
+        }
+    }
+    for (site, line) in &armed {
+        if !sites.contains_key(site) {
+            out.push(Finding::new(
+                RULE,
+                &reg.rel,
+                *line,
+                &format!(
+                    "armed site `{site}` has no fail_point!(\"{site}\") anywhere in the \
+                     workspace: the suite arms a dead site"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// All `fail_point!("<site>")` literals in one file.
+pub fn fail_point_sites(file: &SourceFile) -> Vec<(String, usize)> {
+    let tokens = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if is_ident(tokens, i, "fail_point")
+            && is_punct(tokens, i + 1, "!")
+            && is_punct(tokens, i + 2, "(")
+            && tokens.get(i + 3).is_some_and(|t| t.kind == Kind::Str)
+        {
+            out.push((tokens[i + 3].text.clone(), tokens[i + 3].line));
+        }
+    }
+    out
+}
+
+/// Sites the registry arms: every string literal inside a
+/// `const <NAME>_SITES: &[&str] = &[ ... ];` array, plus the first
+/// argument of every `fail_at("<site>", n)` call.
+pub fn armed_sites(file: &SourceFile) -> BTreeMap<String, usize> {
+    let tokens = &file.lexed.tokens;
+    let mut armed = BTreeMap::new();
+    for i in 0..tokens.len() {
+        // const FOO_SITES: ... = &[ "a", "b", ... ];
+        if is_ident(tokens, i, "const")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == Kind::Ident && t.text.ends_with("_SITES"))
+        {
+            let mut j = i + 2;
+            while j < tokens.len() && !is_punct(tokens, j, "[") {
+                j += 1;
+            }
+            // Skip the `[` of `&[&str]` — the literal array starts at the
+            // *next* `[`.
+            j += 1;
+            while j < tokens.len() && !is_punct(tokens, j, "[") {
+                j += 1;
+            }
+            while j < tokens.len() && !is_punct(tokens, j, "]") {
+                if tokens[j].kind == Kind::Str {
+                    armed
+                        .entry(tokens[j].text.clone())
+                        .or_insert(tokens[j].line);
+                }
+                j += 1;
+            }
+        }
+        // fail_at("site", n)
+        if is_ident(tokens, i, "fail_at")
+            && is_punct(tokens, i + 1, "(")
+            && tokens.get(i + 2).is_some_and(|t| t.kind == Kind::Str)
+        {
+            armed
+                .entry(tokens[i + 2].text.clone())
+                .or_insert(tokens[i + 2].line);
+        }
+    }
+    armed
+}

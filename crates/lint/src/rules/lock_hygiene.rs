@@ -1,0 +1,61 @@
+//! **lock-hygiene** — bare `.lock().unwrap()` / `.lock().expect(...)` (and
+//! the zero-argument `RwLock` cousins `.read()` / `.write()`) propagate
+//! poison to readers. The serving pipeline catches every panic *before*
+//! guards drop and rolls staged state back, so a poisoned lock always holds
+//! the last consistent value — the workspace idiom is poison *recovery*:
+//! `lock().unwrap_or_else(PoisonError::into_inner)` (see
+//! `qpgc_serve::store::lock_recover` and `qpgc_fault`'s hit counters).
+
+use crate::engine::{is_ident, is_punct, SourceFile};
+use crate::Finding;
+
+/// Rule id.
+pub const RULE: &str = "lock-hygiene";
+
+/// Lock acquisition methods: `Mutex::lock`, `RwLock::read`, `RwLock::write`.
+/// Only the zero-argument forms match, which keeps `io::Read::read(&mut
+/// buf)` and friends out of scope.
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// Flags `.{lock,read,write}().unwrap()` and `.{lock,read,write}().expect(`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let tokens = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !is_punct(tokens, i, ".") {
+            continue;
+        }
+        let Some(acquire) = ACQUIRE.iter().find(|m| is_ident(tokens, i + 1, m)) else {
+            continue;
+        };
+        if !(is_punct(tokens, i + 2, "(") && is_punct(tokens, i + 3, ")")) {
+            continue; // not the zero-argument lock-acquisition form
+        }
+        if !is_punct(tokens, i + 4, ".") {
+            continue;
+        }
+        let sink = if is_ident(tokens, i + 5, "unwrap")
+            && is_punct(tokens, i + 6, "(")
+            && is_punct(tokens, i + 7, ")")
+        {
+            Some("unwrap()")
+        } else if is_ident(tokens, i + 5, "expect") && is_punct(tokens, i + 6, "(") {
+            Some("expect(..)")
+        } else {
+            None
+        };
+        if let Some(sink) = sink {
+            out.push(Finding::new(
+                RULE,
+                &file.rel,
+                tokens[i + 1].line,
+                &format!(
+                    ".{acquire}().{sink} propagates lock poison; recover it instead: \
+                     `.{acquire}().unwrap_or_else(PoisonError::into_inner)` \
+                     (or the store's lock_recover/read_recover/write_recover helpers)"
+                ),
+            ));
+        }
+    }
+    out
+}

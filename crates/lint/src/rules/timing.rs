@@ -1,0 +1,102 @@
+//! **timing-gate** — wall-clock assertions are machine-dependent: the CI
+//! box is a single-CPU container where scaling curves flatten into parity
+//! artifacts (see ROADMAP). The workspace convention is that any
+//! `assert!`-family check comparing `Instant`s, `elapsed()` results, or
+//! `Duration`s must sit in a function that first consults the
+//! `QPGC_TIMING_TESTS` environment variable, so structural assertions
+//! always run while timing assertions only run where timing is real.
+
+use crate::engine::{is_punct, matching_brace, SourceFile};
+use crate::lexer::Kind;
+use crate::Finding;
+
+/// Rule id.
+pub const RULE: &str = "timing-gate";
+
+/// The assertion macros audited.
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Identifiers inside the macro arguments that mark a timing comparison.
+const TIMING_IDENTS: &[&str] = &["Instant", "Duration", "elapsed"];
+
+/// The environment variable whose presence gates timing assertions.
+const GATE: &str = "QPGC_TIMING_TESTS";
+
+/// Flags timing assertions in functions that never check the gate.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let tokens = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !(tokens[i].kind == Kind::Ident
+            && ASSERT_MACROS.contains(&tokens[i].text.as_str())
+            && is_punct(tokens, i + 1, "!"))
+        {
+            continue;
+        }
+        // Macro argument span: the bracketed group after `!`.
+        let open = i + 2;
+        if !(is_punct(tokens, open, "(") || is_punct(tokens, open, "[")) {
+            continue;
+        }
+        let close = matching_bracket(tokens, open);
+        let timing = tokens[open..=close]
+            .iter()
+            .any(|t| t.kind == Kind::Ident && TIMING_IDENTS.contains(&t.text.as_str()));
+        if !timing {
+            continue;
+        }
+        let gated = file.enclosing_fn(i).is_some_and(|f| {
+            tokens[f.start..=f.end]
+                .iter()
+                .any(|t| matches!(t.kind, Kind::Ident | Kind::Str) && t.text.contains(GATE))
+        });
+        if !gated {
+            out.push(Finding::new(
+                RULE,
+                &file.rel,
+                tokens[i].line,
+                &format!(
+                    "{}! compares wall-clock values (Instant/elapsed/Duration) in a \
+                     function that never checks {GATE}: gate it with \
+                     `if std::env::var(\"{GATE}\").is_ok() {{ ... }}` so the assertion \
+                     only runs where timing is meaningful",
+                    tokens[i].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Index of the bracket matching `(` / `[` at `open`.
+fn matching_bracket(tokens: &[crate::lexer::Token], open: usize) -> usize {
+    if is_punct(tokens, open, "{") {
+        return matching_brace(tokens, open);
+    }
+    let (o, c) = if is_punct(tokens, open, "[") {
+        ("[", "]")
+    } else {
+        ("(", ")")
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == Kind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}

@@ -1,0 +1,242 @@
+//! Fixture corpus tests: every rule is pinned by at least one positive
+//! (violating) and one negative (clean) miniature workspace under
+//! `crates/lint/fixtures/`, with exact diagnostics — rule id, relative
+//! file, line — asserted. A drift meta-test injects a fake `fail_point!`
+//! site into a temp tree and checks both registry directions, and a final
+//! self-check runs the linter over the real workspace and requires it
+//! clean (the same bar the CI `static-analysis` gate enforces).
+
+use std::path::{Path, PathBuf};
+
+use qpgc_lint::engine::run_root;
+use qpgc_lint::Finding;
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// The (rule, file, line) triples of `findings`, in engine order.
+fn pins(findings: &[Finding]) -> Vec<(&'static str, &str, usize)> {
+    findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line))
+        .collect()
+}
+
+#[test]
+fn lock_hygiene_flags_bare_unwrap_and_expect() {
+    let findings = run_root(&fixture_root("lock/bad"));
+    assert_eq!(
+        pins(&findings),
+        [
+            ("lock-hygiene", "crates/s/src/store.rs", 4),
+            ("lock-hygiene", "crates/s/src/store.rs", 5),
+            ("lock-hygiene", "crates/s/src/store.rs", 6),
+        ]
+    );
+    assert!(
+        findings[0].message.contains("PoisonError::into_inner"),
+        "message must name the recovery idiom: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn lock_hygiene_accepts_poison_recovery() {
+    assert_eq!(pins(&run_root(&fixture_root("lock/ok"))), []);
+}
+
+#[test]
+fn determinism_flags_unsorted_hash_iteration_in_scope() {
+    let findings = run_root(&fixture_root("det/bad"));
+    assert_eq!(
+        pins(&findings),
+        [
+            (
+                "deterministic-iteration",
+                "crates/reachability/src/incremental.rs",
+                5
+            ),
+            (
+                "deterministic-iteration",
+                "crates/reachability/src/incremental.rs",
+                8
+            ),
+        ]
+    );
+}
+
+#[test]
+fn determinism_accepts_sorted_chains_and_justified_pragmas() {
+    assert_eq!(pins(&run_root(&fixture_root("det/ok"))), []);
+}
+
+#[test]
+fn timing_gate_flags_ungated_wall_clock_asserts() {
+    let findings = run_root(&fixture_root("timing/bad"));
+    assert_eq!(pins(&findings), [("timing-gate", "tests/tests/t.rs", 7)]);
+    assert!(findings[0].message.contains("QPGC_TIMING_TESTS"));
+}
+
+#[test]
+fn timing_gate_accepts_env_gated_functions() {
+    assert_eq!(pins(&run_root(&fixture_root("timing/ok"))), []);
+}
+
+#[test]
+fn failpoint_registry_flags_both_directions() {
+    let findings = run_root(&fixture_root("registry/bad"));
+    assert_eq!(
+        pins(&findings),
+        [
+            ("failpoint-registry", "crates/serve/src/a.rs", 2),
+            ("failpoint-registry", "tests/tests/fault_injection.rs", 1),
+        ]
+    );
+    assert!(findings[0].message.contains("store/ghost"), "unarmed site");
+    assert!(
+        findings[1].message.contains("store/armed_but_dead"),
+        "dead armed site"
+    );
+}
+
+#[test]
+fn failpoint_registry_accepts_matched_sites() {
+    assert_eq!(pins(&run_root(&fixture_root("registry/ok"))), []);
+}
+
+#[test]
+fn bench_schema_flags_both_directions() {
+    let findings = run_root(&fixture_root("bench/bad"));
+    assert_eq!(
+        pins(&findings),
+        [
+            ("bench-schema", ".github/workflows/ci.yml", 7),
+            ("bench-schema", "crates/bench/src/perf.rs", 6),
+        ]
+    );
+    assert!(findings[0].message.contains("ghost_key"), "dead grep");
+    assert!(
+        findings[1].message.contains("unsmoked"),
+        "ungrepped section"
+    );
+}
+
+#[test]
+fn bench_schema_accepts_matched_keys_and_ignores_placeholders() {
+    // The ok fixture emits a `  "scale": {}` format! placeholder on purpose:
+    // it must not be read as an (ungrepped) section.
+    assert_eq!(pins(&run_root(&fixture_root("bench/ok"))), []);
+}
+
+#[test]
+fn hygiene_flags_missing_forbid_and_banned_macros() {
+    let findings = run_root(&fixture_root("hygiene/bad"));
+    assert_eq!(
+        pins(&findings),
+        [
+            ("hygiene", "crates/x/src/lib.rs", 1),
+            ("hygiene", "crates/x/src/lib.rs", 2),
+            ("hygiene", "crates/x/src/lib.rs", 3),
+            ("hygiene", "crates/x/src/lib.rs", 7),
+        ]
+    );
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+}
+
+#[test]
+fn hygiene_accepts_forbidding_roots_bins_and_test_modules() {
+    assert_eq!(pins(&run_root(&fixture_root("hygiene/ok"))), []);
+}
+
+#[test]
+fn pragma_hygiene_flags_unjustified_unknown_and_unused_allows() {
+    let findings = run_root(&fixture_root("pragma/bad"));
+    assert_eq!(
+        pins(&findings),
+        [
+            ("pragma", "crates/x/src/util.rs", 2),       // no justification
+            ("lock-hygiene", "crates/x/src/util.rs", 3), // finding stands
+            ("pragma", "crates/x/src/util.rs", 4),       // unknown rule id
+            ("pragma", "crates/x/src/util.rs", 6),       // suppresses nothing
+        ]
+    );
+    assert!(findings[0].message.contains("no justification"));
+    assert!(findings[2].message.contains("unknown rule"));
+    assert!(findings[3].message.contains("unused pragma"));
+}
+
+/// Drift meta-test: start from a registry-consistent temp tree, inject a
+/// fake `fail_point!` site into a new file, and assert the registry rule
+/// flags it; then arm a site whose `fail_point!` no longer exists and
+/// assert the dead-site direction fires too.
+#[test]
+fn failpoint_registry_catches_injected_drift() {
+    let root = std::env::temp_dir().join(format!("qpgc_lint_drift_{}", std::process::id()));
+    let write = |rel: &str, text: &str| {
+        let p = root.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, text).unwrap();
+    };
+
+    write(
+        "crates/core/src/pipeline.rs",
+        "pub fn publish() {\n    qpgc_fault::fail_point!(\"store/publish\");\n}\n",
+    );
+    write(
+        "tests/tests/fault_injection.rs",
+        "const ALL_SITES: &[&str] = &[\"store/publish\"];\n\
+         #[test]\nfn arm() {\n    for s in ALL_SITES {\n        let _ = s;\n    }\n}\n",
+    );
+    assert_eq!(pins(&run_root(&root)), [], "consistent tree must be clean");
+
+    // Drift 1: a new fail_point! site nobody arms.
+    write(
+        "crates/core/src/drift.rs",
+        "pub fn oops() {\n    qpgc_fault::fail_point!(\"ghost/injected\");\n}\n",
+    );
+    let findings = run_root(&root);
+    assert_eq!(
+        pins(&findings),
+        [("failpoint-registry", "crates/core/src/drift.rs", 2)]
+    );
+    assert!(findings[0].message.contains("ghost/injected"));
+    assert!(findings[0].message.contains("not armed"));
+
+    // Drift 2: the site vanishes from the code but stays armed.
+    write("crates/core/src/drift.rs", "pub fn oops() {}\n");
+    write("crates/core/src/pipeline.rs", "pub fn publish() {}\n");
+    let findings = run_root(&root);
+    assert_eq!(
+        pins(&findings),
+        [("failpoint-registry", "tests/tests/fault_injection.rs", 1)]
+    );
+    assert!(findings[0].message.contains("store/publish"));
+    assert!(findings[0].message.contains("dead site"));
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The real workspace must lint clean — the exact bar the CI
+/// `static-analysis` gate holds, so a violation fails `cargo test` locally
+/// before it ever reaches CI.
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    assert!(root.join("Cargo.toml").exists(), "bad workspace root");
+    let findings = run_root(root);
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -201,6 +201,8 @@ impl IncrementalPattern {
             .collect();
         let affected = self.ancestor_cone(&sources);
         stats.affected_classes = affected.len();
+        // qpgc-lint: allow(deterministic-iteration) -- a commutative sum
+        // over set members: any iteration order yields the same total.
         stats.affected_nodes = affected
             .iter()
             .map(|&c| self.members[c as usize].len())
@@ -238,12 +240,20 @@ impl IncrementalPattern {
     /// (including the sources themselves).
     fn ancestor_cone(&self, sources: &HashSet<u32>) -> HashSet<u32> {
         let mut radj: HashMap<u32, Vec<u32>> = HashMap::new();
+        // qpgc-lint: allow(deterministic-iteration) -- the reverse
+        // adjacency only drives the BFS below, whose result is the
+        // `visited` *set*: the fixpoint is identical under any edge visit
+        // order, and localized_recompute sorts the cone before any id is
+        // handed out.
         for &(a, b) in self.q_edges.keys() {
             if a != b {
                 radj.entry(b).or_default().push(a);
             }
         }
         let mut visited: HashSet<u32> = sources.clone();
+        // qpgc-lint: allow(deterministic-iteration) -- seed order only
+        // permutes the BFS schedule; the visited-set fixpoint it computes
+        // is order-insensitive.
         let mut queue: VecDeque<u32> = sources.iter().copied().collect();
         while let Some(c) = queue.pop_front() {
             if let Some(parents) = radj.get(&c) {
@@ -293,8 +303,13 @@ impl IncrementalPattern {
             }
         }
 
-        // Class-level edges between unaffected classes (self loops included).
-        for &(a, b) in self.q_edges.keys() {
+        // Class-level edges between unaffected classes (self loops
+        // included), iterated in sorted order: the hybrid adjacency feeds
+        // the bisimulation recomputation that hands out stable ids, so its
+        // construction must not depend on hash iteration order.
+        let mut atom_edges: Vec<(u32, u32)> = self.q_edges.keys().copied().collect();
+        atom_edges.sort_unstable();
+        for &(a, b) in &atom_edges {
             if let (Some(&ha), Some(&hb)) = (atom_of_class.get(&a), atom_of_class.get(&b)) {
                 hybrid.add_edge(ha, hb);
             }
@@ -503,7 +518,11 @@ impl IncrementalPattern {
                 }
             }
         }
-        for &(a, b) in self.q_edges.keys() {
+        // Sorted so the materialized quotient's adjacency lists are
+        // reproducible across runs, not hash-order artifacts.
+        let mut q_edges_sorted: Vec<(u32, u32)> = self.q_edges.keys().copied().collect();
+        q_edges_sorted.sort_unstable();
+        for &(a, b) in &q_edges_sorted {
             quotient.add_edge(NodeId(dense[&a]), NodeId(dense[&b]));
         }
 

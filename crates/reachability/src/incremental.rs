@@ -196,6 +196,10 @@ impl IncrementalReach {
 
     fn class_adjacency(&self) -> HashMap<u32, Vec<u32>> {
         let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        // qpgc-lint: allow(deterministic-iteration) -- the adjacency feeds
+        // only `class_reaches`, whose BFS returns a bool: neighbor-list
+        // order cannot leak into ids or any materialized artifact, and
+        // sorting here would tax the per-query hot path.
         for &(a, b) in self.q_edges.keys() {
             adj.entry(a).or_default().push(b);
         }
@@ -228,6 +232,11 @@ impl IncrementalReach {
     /// sources.
     fn class_cone(&self, sources: &HashSet<u32>, forward: bool) -> HashSet<u32> {
         let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        // qpgc-lint: allow(deterministic-iteration) -- the adjacency only
+        // drives the multi-source BFS below, whose result is the
+        // `visited` *set*: a set fixpoint is identical under any edge
+        // visit order, and every consumer of the cone sorts before order
+        // matters (`affected_sorted` in localized_recompute).
         for &(a, b) in self.q_edges.keys() {
             if forward {
                 adj.entry(a).or_default().push(b);
@@ -236,6 +245,9 @@ impl IncrementalReach {
             }
         }
         let mut visited: HashSet<u32> = sources.clone();
+        // qpgc-lint: allow(deterministic-iteration) -- seed order only
+        // permutes the BFS schedule; the visited-set fixpoint it computes
+        // is order-insensitive.
         let mut queue: VecDeque<u32> = sources.iter().copied().collect();
         while let Some(c) = queue.pop_front() {
             if let Some(next) = adj.get(&c) {
@@ -323,6 +335,8 @@ impl IncrementalReach {
         let mut affected: HashSet<u32> = self.class_cone(&up_sources, false);
         affected.extend(self.class_cone(&down_sources, true));
         stats.affected_classes = affected.len();
+        // qpgc-lint: allow(deterministic-iteration) -- a commutative sum
+        // over set members: any iteration order yields the same total.
         stats.affected_nodes = affected
             .iter()
             .map(|&c| self.members[c as usize].len())
@@ -381,8 +395,13 @@ impl IncrementalReach {
         }
 
         // Edges between unaffected classes come from the maintained
-        // class-level edge counters.
-        for &(a, b) in self.q_edges.keys() {
+        // class-level edge counters, iterated in sorted order: the hybrid
+        // graph's adjacency feeds the equivalence recomputation that hands
+        // out stable ids, so nothing about its construction may depend on
+        // hash iteration order.
+        let mut atom_edges: Vec<(u32, u32)> = self.q_edges.keys().copied().collect();
+        atom_edges.sort_unstable();
+        for &(a, b) in &atom_edges {
             if let (Some(&ha), Some(&hb)) = (atom_of_class.get(&a), atom_of_class.get(&b)) {
                 hybrid.add_edge(ha, hb);
             }
@@ -601,7 +620,11 @@ impl IncrementalReach {
         for _ in 0..members.len() {
             quotient.add_node_with_label("σ");
         }
-        for &(a, b) in self.q_edges.keys() {
+        // Sorted so the materialized quotient's adjacency lists are
+        // reproducible across runs, not hash-order artifacts.
+        let mut q_edges_sorted: Vec<(u32, u32)> = self.q_edges.keys().copied().collect();
+        q_edges_sorted.sort_unstable();
+        for &(a, b) in &q_edges_sorted {
             quotient.add_edge(NodeId(dense[&a]), NodeId(dense[&b]));
         }
         let kept = transitive_reduction(&quotient)

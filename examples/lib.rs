@@ -4,6 +4,8 @@
 //! <name>`); this small library only contains formatting helpers so the
 //! binaries stay focused on demonstrating the public API.
 
+#![forbid(unsafe_code)]
+
 /// Prints a section header to stdout.
 pub fn section(title: &str) {
     println!();

@@ -8,6 +8,8 @@
 //! [`CompressedStore`](qpgc_serve::CompressedStore) and the sharded router
 //! [`ShardedStore`](qpgc_serve::ShardedStore) without per-backend forks.
 
+#![forbid(unsafe_code)]
+
 pub mod differential {
     //! Seeded update streams and backend-generic differential checks.
 
